@@ -1,0 +1,62 @@
+// Command milcalc computes the maximum input length (MIL) of each prefill
+// strategy for a model/GPU pair, like the paper's Table 2 and Figure 10.
+//
+// Usage:
+//
+//	milcalc [-model qwen-32b-fp8] [-gpu a100] [-chunk 512]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro"
+	"repro/internal/graph"
+)
+
+func main() {
+	modelName := flag.String("model", "qwen-32b-fp8", "model preset")
+	gpuName := flag.String("gpu", "a100", "GPU preset")
+	chunk := flag.Int("chunk", graph.DefaultChunkSize, "chunk size for chunked/hybrid modes")
+	flag.Parse()
+
+	m, ok := prefillonly.Models()[*modelName]
+	if !ok {
+		log.Fatalf("unknown model %q", *modelName)
+	}
+	g, ok := prefillonly.GPUs()[*gpuName]
+	if !ok {
+		log.Fatalf("unknown gpu %q", *gpuName)
+	}
+	budget := g.UsableBytes() - m.WeightBytes()
+	if budget <= 0 {
+		log.Fatalf("%s does not fit on %s (weights %.1f GiB, usable %.1f GiB)",
+			m.Name, g.Name, float64(m.WeightBytes())/(1<<30), float64(g.UsableBytes())/(1<<30))
+	}
+	exec := graph.New(m, g)
+	configs := []struct {
+		name string
+		opts graph.Options
+	}{
+		{"standard (vanilla vLLM)", graph.StandardOptions()},
+		{"chunked prefill", graph.ChunkedOptions(*chunk)},
+		{"hybrid: chunking only", graph.Options{Mode: graph.Hybrid, ChunkSize: *chunk, KV: graph.RetainOneLayer}},
+		{"hybrid: +prealloc", graph.Options{Mode: graph.Hybrid, ChunkSize: *chunk, KV: graph.RetainOneLayer, OutputPrealloc: true}},
+		{"hybrid: +prealloc +in-place (PrefillOnly)", graph.HybridOptions(*chunk)},
+	}
+	fmt.Printf("model %s on %s — weights %.1f GiB, budget %.1f GiB\n",
+		m.Name, g.Name, float64(m.WeightBytes())/(1<<30), float64(budget)/(1<<30))
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "strategy\tmax input length (tokens)")
+	for _, c := range configs {
+		mil, err := exec.MaxInputLength(c.opts, budget)
+		if err != nil {
+			log.Fatalf("%s: %v", c.name, err)
+		}
+		fmt.Fprintf(w, "%s\t%d\n", c.name, mil)
+	}
+	w.Flush()
+}

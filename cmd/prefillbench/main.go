@@ -1,0 +1,296 @@
+// Command prefillbench regenerates the paper's tables and figures from the
+// simulation harness and prints them as aligned text tables.
+//
+// Usage:
+//
+//	prefillbench -exp table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|sec2.3|sec6.3|all
+//	             [-scenario L4|A100|H100|H100-NVLink] [-dataset post|credit]
+//	             [-seed N] [-small]
+//
+// fig6/fig7 honour -scenario and -dataset to render a single panel
+// (the full grid is expensive); "all" runs everything cheap plus one panel.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run")
+	scenario := flag.String("scenario", "L4", "scenario for fig6/fig7 panels")
+	dataset := flag.String("dataset", "post", "dataset for fig6/fig7 panels (post|credit)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	small := flag.Bool("small", false, "use scaled-down datasets for quick runs")
+	flag.Parse()
+
+	if err := run(*exp, *scenario, *dataset, *seed, *small); err != nil {
+		fmt.Fprintln(os.Stderr, "prefillbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp, scenario, dataset string, seed int64, small bool) error {
+	switch exp {
+	case "table1":
+		return table1(seed)
+	case "table2":
+		return table2()
+	case "table3":
+		return table3()
+	case "fig3":
+		return fig3()
+	case "fig4":
+		return fig4()
+	case "fig5":
+		return fig5()
+	case "fig6", "fig7":
+		return figQPS(exp, scenario, dataset, seed, small)
+	case "fig8":
+		return fig8(seed)
+	case "fig9":
+		return fig9(seed)
+	case "fig10":
+		return fig10()
+	case "fig11":
+		return fig11(seed)
+	case "sec2.3":
+		return sec23()
+	case "sec6.3":
+		return sec63()
+	case "all":
+		for _, e := range []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig10", "sec2.3", "sec6.3"} {
+			if err := run(e, scenario, dataset, seed, small); err != nil {
+				return err
+			}
+		}
+		return figQPS("fig6", scenario, dataset, seed, true)
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}
+
+func header(title string) *tabwriter.Writer {
+	fmt.Printf("\n=== %s ===\n", title)
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+func table1(seed int64) error {
+	w := header("Table 1: dataset summary")
+	fmt.Fprintln(w, "dataset\tusers\trequests\treq/user\tmean len\tmax len\ttotal tokens")
+	for _, r := range experiments.Table1(seed) {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.0f\t%d\t%d\n",
+			r.Dataset, r.Users, r.Requests, r.RequestsPerUser, r.MeanLen, r.MaxLen, r.TotalTokens)
+	}
+	return w.Flush()
+}
+
+func table2() error {
+	rows, err := experiments.Table2()
+	if err != nil {
+		return err
+	}
+	w := header("Table 2: max input length (tokens)")
+	fmt.Fprintln(w, "engine\tGPU\tMIL\tWL1\tWL2")
+	mark := func(b bool) string {
+		if b {
+			return "ok"
+		}
+		return "x"
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%v\t%s\t%d\t%s\t%s\n", r.Engine, r.Scenario, r.MIL, mark(r.WL1OK), mark(r.WL2OK))
+	}
+	return w.Flush()
+}
+
+func table3() error {
+	w := header("Table 3: hardware and models")
+	fmt.Fprintln(w, "scenario\tGPU\tcount\tmem GiB\tlink\tmodel\tweights GiB")
+	for _, r := range experiments.Table3() {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%.0f\t%s\t%s\t%.1f\n",
+			r.Scenario, r.GPUName, r.GPUCount, r.MemoryGiB, r.Interconnect, r.ModelName, r.WeightGiB)
+	}
+	return w.Flush()
+}
+
+func fig3() error {
+	res, err := experiments.Figure3()
+	if err != nil {
+		return err
+	}
+	w := header("Figure 3: memory trace peaks (32,768 tokens, Llama-3.1-8B)")
+	gib := func(b int64) float64 { return float64(b) / (1 << 30) }
+	fmt.Fprintf(w, "configuration\tpeak above weights\ttotal peak (incl %.1f GiB weights)\ttrace events\n", gib(res.WeightBytes))
+	fmt.Fprintf(w, "standard prefill\t%.2f GiB\t%.2f GiB\t%d\n",
+		gib(res.StandardPeak), gib(res.StandardPeak+res.WeightBytes), len(res.Standard))
+	fmt.Fprintf(w, "hybrid prefill\t%.2f GiB\t%.2f GiB\t%d\n",
+		gib(res.HybridPeak), gib(res.HybridPeak+res.WeightBytes), len(res.Hybrid))
+	fmt.Fprintf(w, "saving\t%.2f GiB\t\t\n", gib(res.StandardPeak-res.HybridPeak))
+	return w.Flush()
+}
+
+func fig4() error {
+	w := header("Figure 4: MLP tensor sizes (32,768 tokens, Llama-3.1-8B)")
+	fmt.Fprintln(w, "tensor\tshape\tMiB\tvs one-layer KV")
+	for _, r := range experiments.Figure4() {
+		fmt.Fprintf(w, "%s\t%dx%d\t%.0f\t%.1fx\n",
+			r.Tensor, r.Shape[0], r.Shape[1], float64(r.Bytes)/(1<<20), r.VsOneLayerKV)
+	}
+	return w.Flush()
+}
+
+func fig5() error {
+	rows, err := experiments.Figure5()
+	if err != nil {
+		return err
+	}
+	w := header("Figure 5: scheduling walkthrough (A<C<B<D, cache holds one request)")
+	fmt.Fprintln(w, "policy\texecution order\tcache hits")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%d\n", r.Policy, strings.Join(r.Order, ","), r.CacheHits)
+	}
+	return w.Flush()
+}
+
+func figQPS(which, scenario, dataset string, seed int64, small bool) error {
+	sc, err := experiments.ScenarioByName(scenario)
+	if err != nil {
+		return err
+	}
+	kind := experiments.PostRecommendation
+	if strings.HasPrefix(dataset, "credit") {
+		kind = experiments.CreditVerification
+	}
+	panel, err := qpsPanel(sc, kind, seed, small)
+	if err != nil {
+		return err
+	}
+	metric := "mean"
+	if which == "fig7" {
+		metric = "p99"
+	}
+	w := header(fmt.Sprintf("Figure %s panel: %s / %s (saturation %.3f qps)",
+		strings.TrimPrefix(which, "fig"), panel.Scenario, panel.Dataset, panel.SaturationQPS))
+	fmt.Fprintf(w, "engine\tqps\t%s latency (s)\ttput (req/s)\thit rate\tinfeasible\n", metric)
+	for _, p := range panel.Points {
+		lat := p.MeanLatency
+		if which == "fig7" {
+			lat = p.P99Latency
+		}
+		fmt.Fprintf(w, "%v\t%.3f\t%.2f\t%.3f\t%.2f\t%.2f\n",
+			p.Engine, p.QPS, lat, p.ThroughputRPS, p.CacheHitRate, p.InfeasibleFrac)
+	}
+	return w.Flush()
+}
+
+func qpsPanel(sc experiments.Scenario, kind experiments.DatasetKind, seed int64, small bool) (*experiments.QPSLatencyPanel, error) {
+	if !small {
+		return experiments.QPSLatency(sc, kind, nil, seed)
+	}
+	// Scaled-down panel: swap the dataset via a local sweep.
+	ds := experiments.SmallDataset(kind, seed)
+	x, err := experiments.SaturationQPS(experiments.PrefillOnly, sc, ds)
+	if err != nil {
+		return nil, err
+	}
+	panel := &experiments.QPSLatencyPanel{Scenario: sc.Name, Dataset: ds.Name + " (small)", SaturationQPS: x}
+	for _, eng := range experiments.AllEngines() {
+		for _, mult := range experiments.QPSGridMultipliers {
+			res, err := experiments.Run(experiments.RunConfig{
+				Kind: eng, Scenario: sc, Dataset: ds, QPS: x * mult, Seed: seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			panel.Points = append(panel.Points, experiments.QPSLatencyPoint{
+				Engine: eng, QPS: x * mult,
+				MeanLatency: res.Latency.Mean, P99Latency: res.Latency.P99,
+				ThroughputRPS: res.ThroughputRPS, CacheHitRate: res.CacheHitRate,
+				InfeasibleFrac: res.InfeasibleFrac,
+			})
+		}
+	}
+	return panel, nil
+}
+
+func fig8(seed int64) error {
+	rows, err := experiments.Figure8(seed)
+	if err != nil {
+		return err
+	}
+	w := header("Figure 8: credit-verification throughput, 2xH100")
+	fmt.Fprintln(w, "engine\tNVLink\tthroughput (req/s)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%v\t%v\t%.4f\n", r.Engine, r.NVLink, r.ThroughputRPS)
+	}
+	return w.Flush()
+}
+
+func fig9(seed int64) error {
+	rows, err := experiments.Figure9(seed)
+	if err != nil {
+		return err
+	}
+	w := header("Figure 9: post-recommendation throughput vs QPS, 2xH100 (PCIe)")
+	fmt.Fprintln(w, "engine\toffered qps\tthroughput (req/s)\thit rate")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%v\t%.2f\t%.3f\t%.2f\n", r.Engine, r.QPS, r.ThroughputRPS, r.CacheHitRate)
+	}
+	return w.Flush()
+}
+
+func fig10() error {
+	rows, err := experiments.Figure10()
+	if err != nil {
+		return err
+	}
+	w := header("Figure 10: hybrid prefilling MIL ablation (Qwen-2.5-32B FP8, A100)")
+	fmt.Fprintln(w, "configuration\tmax input length")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\n", r.Config, r.MIL)
+	}
+	return w.Flush()
+}
+
+func fig11(seed int64) error {
+	curves, err := experiments.Figure11(seed)
+	if err != nil {
+		return err
+	}
+	w := header("Figure 11: latency CDF under fairness parameter λ")
+	fmt.Fprintln(w, "λ\tmean latency (s)\tp99 latency (s)")
+	for _, c := range curves {
+		fmt.Fprintf(w, "%.0f\t%.2f\t%.2f\n", c.Lambda, c.MeanLatency, c.P99Latency)
+	}
+	return w.Flush()
+}
+
+func sec23() error {
+	res, err := experiments.Section23(64)
+	if err != nil {
+		return err
+	}
+	w := header("§2.3: prefill-only vs generative latency (Llama-3.1-8B, H100)")
+	fmt.Fprintln(w, "request\tlatency (s)")
+	fmt.Fprintf(w, "2048 in / 1 out\t%.3f\n", res.PrefillSeconds)
+	fmt.Fprintf(w, "2048 in / 256 out (batch %d)\t%.3f\n", res.DecodeBatch, res.GenerativeSeconds)
+	fmt.Fprintf(w, "slowdown\t%.2fx (paper: ~1.5x)\n", res.Slowdown)
+	return w.Flush()
+}
+
+func sec63() error {
+	res, err := experiments.Section63()
+	if err != nil {
+		return err
+	}
+	w := header("§6.3: JCT proxy validation (Qwen-32B FP8, A100)")
+	fmt.Fprintf(w, "Pearson(JCT, cache-miss tokens)\t%.4f (paper: 0.987)\n", res.Pearson)
+	fmt.Fprintf(w, "grid points\t%d\n", res.Points)
+	return w.Flush()
+}

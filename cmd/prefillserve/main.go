@@ -1,0 +1,58 @@
+// Command prefillserve runs the OpenAI-compatible PrefillOnly serving
+// frontend on a modelled GPU.
+//
+// Usage:
+//
+//	prefillserve [-addr :8080] [-model llama-3.1-8b] [-gpu l4]
+//	             [-max-input-len 20000] [-lambda 500] [-speedup 1000]
+//
+// Then:
+//
+//	curl -s localhost:8080/v1/completions -d '{
+//	  "prompt": "Here is the user profile: ... Your answer is:",
+//	  "max_tokens": 1, "allowed_tokens": ["Yes","No"], "user": "u1"
+//	}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"repro"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	modelName := flag.String("model", "llama-3.1-8b", "model preset (llama-3.1-8b|qwen-32b-fp8|llama-70b-fp8)")
+	gpuName := flag.String("gpu", "l4", "GPU preset (l4|a100|h100|h100-nvlink)")
+	maxLen := flag.Int("max-input-len", 20000, "profile-run maximum input length")
+	lambda := flag.Float64("lambda", 500, "fairness parameter λ")
+	speedup := flag.Float64("speedup", 1000, "simulated seconds per wall second")
+	flag.Parse()
+
+	m, ok := prefillonly.Models()[*modelName]
+	if !ok {
+		log.Fatalf("unknown model %q", *modelName)
+	}
+	g, ok := prefillonly.GPUs()[*gpuName]
+	if !ok {
+		log.Fatalf("unknown gpu %q", *gpuName)
+	}
+	srv, err := prefillonly.NewServer(prefillonly.ServerConfig{
+		Model:       m,
+		GPU:         g,
+		MaxInputLen: *maxLen,
+		Lambda:      *lambda,
+		Speedup:     *speedup,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("prefillserve: %s on %s, MIL profile %d tokens, λ=%g, speedup %gx\n",
+		m.Name, g.Name, *maxLen, *lambda, *speedup)
+	fmt.Printf("prefillserve: listening on %s\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -1,0 +1,74 @@
+// HTTP serving end to end: start the OpenAI-compatible PrefillOnly
+// frontend on a local port, then act as the application — send three
+// recommendation requests for one user and print the scored answers. The
+// second and third requests hit the first one's profile prefix in the KV
+// cache.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"repro"
+)
+
+func main() {
+	srv, err := prefillonly.NewServer(prefillonly.ServerConfig{
+		Model:       prefillonly.Llama31_8B(),
+		GPU:         prefillonly.L4(),
+		MaxInputLen: 20000,
+		Speedup:     10000, // shrink modelled seconds to sub-millisecond waits
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = http.Serve(ln, srv.Handler()) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("prefillonly server listening on", base)
+
+	profile := "Here is the user profile: enjoys systems research, kernel internals and database papers; " +
+		"ignores fashion and sports content. Here is the document: "
+	docs := []string{
+		"A deep dive into GPU memory management for LLM inference.",
+		"Spring fashion trends you cannot miss this year.",
+		"Benchmarking schedulers for prefill-heavy serving workloads.",
+	}
+	for i, doc := range docs {
+		body, _ := json.Marshal(map[string]interface{}{
+			"model":          "llama-3.1-8b",
+			"prompt":         profile + doc + " Should we recommend this document to this user? Your answer is:",
+			"max_tokens":     1,
+			"allowed_tokens": []string{"Yes", "No"},
+			"user":           "user-1",
+		})
+		resp, err := http.Post(base+"/v1/completions", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var out struct {
+			Choices []struct {
+				Text        string             `json:"text"`
+				TokenScores map[string]float64 `json:"token_scores"`
+			} `json:"choices"`
+			SimLatencySeconds float64 `json:"sim_latency_seconds"`
+			CachedTokens      int     `json:"cached_tokens"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		c := out.Choices[0]
+		fmt.Printf("doc %d: answer=%-3s P(Yes)=%.3f  modelled latency %.3fs  cached %d tokens\n",
+			i+1, c.Text, c.TokenScores["Yes"], out.SimLatencySeconds, out.CachedTokens)
+	}
+}

@@ -1,0 +1,48 @@
+// Quickstart: build a two-GPU PrefillOnly cluster, submit a handful of
+// prefill-only requests (recommendation-style Yes/No prompts), and print
+// latency, cache behaviour, and the scored answers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	sim, err := prefillonly.NewSimulation(prefillonly.SimulationConfig{
+		Engine:      prefillonly.EnginePrefillOnly,
+		Model:       prefillonly.Llama31_8B(),
+		GPU:         prefillonly.L4(),
+		GPUs:        2,
+		MaxInputLen: 20000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	profile := "User profile: follows distributed systems, databases and operating systems research; " +
+		"clicked on twelve scheduling deep-dives last month; skips celebrity news, crypto threads and sports recaps. "
+	posts := []string{
+		"Post: a walkthrough of an LLM inference engine's KV cache manager.",
+		"Post: top ten celebrity outfits of the week.",
+		"Post: measuring pipeline bubbles in multi-GPU serving.",
+		"Post: a beginner's guide to growing tomatoes indoors.",
+	}
+	for i, post := range posts {
+		prompt := profile + post + " Should we recommend this post to the user? Your answer is:"
+		sim.SubmitText(float64(i)*0.05, 1 /* user id */, prompt, []string{"Yes", "No"})
+	}
+
+	records := sim.Run()
+	fmt.Println("PrefillOnly quickstart — 4 recommendation requests, one user:")
+	for _, rec := range records {
+		fmt.Printf("  request %d: latency %6.3fs  exec %6.3fs  prefix-cache hit %5d tokens\n",
+			rec.Req.ID, rec.Latency(), rec.ExecTime(), rec.CachedTokens)
+	}
+	sum := prefillonly.SummarizeLatencies(records)
+	fmt.Printf("mean latency %.3fs, p99 %.3fs, cluster cache hit rate %.0f%%\n",
+		sum.Mean, sum.P99, 100*sim.CacheHitRate())
+	fmt.Println("note: request 1 prefills the user profile cold; requests 2-4 reuse its KV prefix.")
+}

@@ -1,0 +1,164 @@
+package prefillonly
+
+// Integration tests: whole-system runs across the public API, checking
+// determinism, conservation, and the paper's cross-engine orderings at a
+// scale small enough for the regular test suite.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// Identical configurations must produce bit-identical latency traces.
+func TestIntegrationDeterminism(t *testing.T) {
+	run := func() []float64 {
+		sim, err := NewSimulation(SimulationConfig{MaxInputLen: 18000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := NewPostRecommendation(PostRecommendationConfig{Users: 4, PostsPerUser: 8, Seed: 21})
+		if err := sim.SubmitDataset(ds, 8, 5); err != nil {
+			t.Fatal(err)
+		}
+		recs := sim.Run()
+		out := make([]float64, len(recs))
+		for i, r := range recs {
+			out[i] = r.Latency()
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different completion counts")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("latency %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Every engine must conserve requests and never produce negative queueing
+// or overlapping executions on a single-instance cluster.
+func TestIntegrationEngineSanity(t *testing.T) {
+	for _, eng := range []EngineName{
+		EnginePrefillOnly, EnginePagedAttention, EngineChunkedPrefill,
+		EngineTensorParallel, EnginePipelineParallel,
+	} {
+		eng := eng
+		t.Run(string(eng), func(t *testing.T) {
+			sim, err := NewSimulation(SimulationConfig{Engine: eng, GPUs: 2, MaxInputLen: 18000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds := NewPostRecommendation(PostRecommendationConfig{Users: 4, PostsPerUser: 6, Seed: 3})
+			if err := sim.SubmitDataset(ds, 6, 9); err != nil {
+				t.Fatal(err)
+			}
+			recs := sim.Run()
+			if len(recs) != len(ds.Requests) {
+				t.Fatalf("completed %d of %d", len(recs), len(ds.Requests))
+			}
+			seen := map[int64]bool{}
+			for _, r := range recs {
+				if seen[r.Req.ID] {
+					t.Fatalf("request %d completed twice", r.Req.ID)
+				}
+				seen[r.Req.ID] = true
+				if r.QueueTime() < -1e-9 || r.ExecTime() <= 0 {
+					t.Fatalf("bad record %+v", r)
+				}
+				if r.Start < r.Arrival-1e-9 {
+					t.Fatalf("request started before arrival: %+v", r)
+				}
+			}
+		})
+	}
+}
+
+// The paper's central cross-engine claim at test scale: at well beyond
+// saturation, PrefillOnly's mean latency beats the FCFS baselines on the
+// cache-heavy workload.
+func TestIntegrationPrefillOnlyWinsUnderLoad(t *testing.T) {
+	sc, err := experiments.ScenarioByName("L4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := experiments.SmallDataset(experiments.PostRecommendation, 2)
+	x, err := experiments.SaturationQPS(experiments.PrefillOnly, sc, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	means := map[experiments.EngineKind]float64{}
+	for _, kind := range []experiments.EngineKind{experiments.PrefillOnly, experiments.PagedAttention, experiments.ChunkedPrefill} {
+		res, err := experiments.Run(experiments.RunConfig{
+			Kind: kind, Scenario: sc, Dataset: ds, QPS: 3 * x, Seed: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		means[kind] = res.Latency.Mean
+	}
+	if means[experiments.PrefillOnly] >= means[experiments.PagedAttention] {
+		t.Errorf("PrefillOnly %.2fs not below PagedAttention %.2fs at 3x saturation",
+			means[experiments.PrefillOnly], means[experiments.PagedAttention])
+	}
+	if means[experiments.PrefillOnly] >= means[experiments.ChunkedPrefill] {
+		t.Errorf("PrefillOnly %.2fs not below ChunkedPrefill %.2fs at 3x saturation",
+			means[experiments.PrefillOnly], means[experiments.ChunkedPrefill])
+	}
+}
+
+// Offload integration through the public API: enabling the host tier must
+// not change correctness and should restore tokens under cache pressure.
+func TestIntegrationHostOffload(t *testing.T) {
+	run := func(host int64) (int, float64) {
+		sim, err := NewSimulation(SimulationConfig{MaxInputLen: 18000, HostCacheBytes: host})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := NewPostRecommendation(PostRecommendationConfig{Users: 10, PostsPerUser: 8, Seed: 31})
+		if err := sim.SubmitDataset(ds, 12, 7); err != nil {
+			t.Fatal(err)
+		}
+		recs := sim.Run()
+		restored := 0
+		for _, r := range recs {
+			restored += r.RestoredTokens
+		}
+		return restored, SummarizeLatencies(recs).Mean
+	}
+	r0, _ := run(0)
+	if r0 != 0 {
+		t.Fatalf("restored %d tokens with offloading disabled", r0)
+	}
+	r1, mean1 := run(64 << 30)
+	if r1 == 0 {
+		t.Skip("no cache pressure at this scale; offload path untriggered")
+	}
+	if math.IsNaN(mean1) || mean1 <= 0 {
+		t.Fatalf("bad mean %v", mean1)
+	}
+}
+
+// The simulated clock must never run backwards across a full run.
+func TestIntegrationMonotoneFinishTimes(t *testing.T) {
+	sim, err := NewSimulation(SimulationConfig{MaxInputLen: 18000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := NewPostRecommendation(PostRecommendationConfig{Users: 3, PostsPerUser: 6, Seed: 4})
+	if err := sim.SubmitDataset(ds, 10, 2); err != nil {
+		t.Fatal(err)
+	}
+	recs := sim.Run()
+	prev := 0.0
+	for _, r := range recs {
+		if r.Finish < prev {
+			t.Fatalf("finish times not monotone: %v after %v", r.Finish, prev)
+		}
+		prev = r.Finish
+	}
+}

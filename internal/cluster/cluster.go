@@ -1,0 +1,62 @@
+// Package cluster fans a workload out across multiple engine instances
+// with the paper's user-id-based routing (§7.1): every request from one
+// user goes to the same instance, and users are assigned to instances in
+// round-robin order of first appearance, so per-user prefix caches stay
+// local to one device.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/sched"
+)
+
+// Cluster routes requests to a fixed set of engine instances.
+type Cluster struct {
+	instances []engine.Engine
+	byUser    map[int]int
+	next      int
+}
+
+// New builds a cluster over the given instances.
+func New(instances ...engine.Engine) (*Cluster, error) {
+	if len(instances) == 0 {
+		return nil, fmt.Errorf("cluster: need at least one instance")
+	}
+	for i, in := range instances {
+		if in == nil {
+			return nil, fmt.Errorf("cluster: instance %d is nil", i)
+		}
+	}
+	return &Cluster{instances: instances, byUser: make(map[int]int)}, nil
+}
+
+// Instances returns the cluster's engines.
+func (c *Cluster) Instances() []engine.Engine { return c.instances }
+
+// GPUs returns the total GPUs occupied by the cluster.
+func (c *Cluster) GPUs() int {
+	n := 0
+	for _, in := range c.instances {
+		n += in.GPUs()
+	}
+	return n
+}
+
+// Route returns the instance index a user's requests go to, assigning new
+// users round-robin.
+func (c *Cluster) Route(userID int) int {
+	if idx, ok := c.byUser[userID]; ok {
+		return idx
+	}
+	idx := c.next
+	c.next = (c.next + 1) % len(c.instances)
+	c.byUser[userID] = idx
+	return idx
+}
+
+// Submit routes a request to its user's instance.
+func (c *Cluster) Submit(r *sched.Request) {
+	c.instances[c.Route(r.UserID)].Submit(r)
+}

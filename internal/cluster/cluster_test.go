@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func TestRoutingStickyAndRoundRobin(t *testing.T) {
+	var s sim.Sim
+	cfg := engine.Config{Model: model.Llama31_8B(), GPU: hw.L4(), Sim: &s, ProfileMaxLen: 2000}
+	e1, err := engine.NewPagedAttention(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := engine.NewPagedAttention(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(e1, e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.GPUs() != 2 {
+		t.Fatalf("GPUs = %d", c.GPUs())
+	}
+	// Users assigned round robin in first-seen order; repeat users sticky.
+	if c.Route(10) != 0 || c.Route(20) != 1 || c.Route(30) != 0 {
+		t.Fatal("round-robin assignment broken")
+	}
+	for i := 0; i < 5; i++ {
+		if c.Route(20) != 1 {
+			t.Fatal("user routing not sticky")
+		}
+	}
+}
+
+func TestSubmitRoutesByUser(t *testing.T) {
+	var s sim.Sim
+	var recs []engine.Record
+	cfg := engine.Config{
+		Model: model.Llama31_8B(), GPU: hw.L4(), Sim: &s, ProfileMaxLen: 2000,
+		OnComplete: func(r engine.Record) { recs = append(recs, r) },
+	}
+	e1, err := engine.NewPagedAttention(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := engine.NewPagedAttention(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(e1, e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(id int64, user int) *sched.Request {
+		toks := make([]uint64, 1000)
+		for i := range toks {
+			toks[i] = uint64(user)<<32 | uint64(i)
+		}
+		return &sched.Request{ID: id, UserID: user, Tokens: toks}
+	}
+	s.At(0, func() {
+		c.Submit(mk(1, 0))
+		c.Submit(mk(2, 1))
+		c.Submit(mk(3, 0))
+	})
+	s.Run()
+	if len(recs) != 3 {
+		t.Fatalf("completed %d", len(recs))
+	}
+	// Requests 1 and 3 (user 0) on instance of e1; request 2 on e2: the
+	// two instances work concurrently, so request 2 must not wait for 1.
+	var inst1, inst2 int
+	for _, r := range recs {
+		if r.Req.UserID == 0 {
+			inst1++
+		} else {
+			inst2++
+		}
+	}
+	if inst1 != 2 || inst2 != 1 {
+		t.Fatalf("routing counts: user0=%d user1=%d", inst1, inst2)
+	}
+}
+
+func TestNewRejectsEmptyAndNil(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Error("empty cluster accepted")
+	}
+	if _, err := New(nil); err == nil {
+		t.Error("nil instance accepted")
+	}
+}

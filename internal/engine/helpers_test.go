@@ -1,0 +1,7 @@
+package engine
+
+import "repro/internal/graph"
+
+func hybridOpts() graph.Options {
+	return graph.HybridOptions(graph.DefaultChunkSize)
+}

@@ -1,0 +1,306 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/hw"
+	"repro/internal/kvcache"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// linkCrossings returns how many times each communicated byte traverses
+// the peer link: NVLink is direct GPU-to-GPU; PCIe peer traffic is staged
+// through host memory and crosses twice.
+func linkCrossings(g *hw.GPU) float64 {
+	if g.Link == hw.NVLink {
+		return 1
+	}
+	return 2
+}
+
+// collectiveLatency is the fixed per-collective launch/sync cost.
+const collectiveLatency = 20e-6
+
+// ppStageImbalance inflates the first pipeline stage: the stages never
+// split perfectly (stage 0 also runs the embedding and input plumbing,
+// stage 1 the head and sampler, and the synchronous scheduling rounds add
+// per-microbatch slack), so the pipeline's bottleneck stage runs ~10%
+// longer than layers/2 would suggest (§2.5's pipeline bubbles).
+const ppStageImbalance = 1.10
+
+// TensorParallel is the TP=2 baseline: every layer's computation is split
+// across two GPUs, stitched together with two all-reduces per layer. It
+// halves per-GPU compute and memory at the cost of communication that is
+// serialized with compute (§2.5, §5.2).
+type TensorParallel struct {
+	name      string
+	cfg       Config
+	sim       *sim.Sim
+	exec      *graph.Executor // per-GPU (sharded) cost model
+	opts      graph.Options
+	scheduler sched.Scheduler
+	cache     *kvcache.Manager
+	prof      profile
+	busy      bool
+}
+
+// NewTensorParallel builds the TP=2 baseline (standard prefill, FCFS, full
+// KV residency split across both GPUs).
+func NewTensorParallel(cfg Config) (*TensorParallel, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	shard, err := cfg.Model.Shard(2, 1)
+	if err != nil {
+		return nil, err
+	}
+	exec := graph.New(shard, cfg.GPU)
+	opts := graph.StandardOptions()
+	prof, err := buildProfile(exec, opts, cfg.GPU, shard.WeightBytes(), cfg.ProfileMaxLen)
+	if err != nil {
+		return nil, fmt.Errorf("tensor-parallel: %w", err)
+	}
+	cache, err := kvcache.New(kvcache.Config{
+		BlockTokens:   cfg.blockTokens(),
+		BytesPerToken: cfg.Model.KVBytesPerToken(), // full-depth; halves live on each GPU
+		CapacityBytes: 2 * prof.pool,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &TensorParallel{
+		name:      "tensor-parallel",
+		cfg:       cfg,
+		sim:       cfg.Sim,
+		exec:      exec,
+		opts:      opts,
+		scheduler: sched.NewFIFO(),
+		cache:     cache,
+		prof:      prof,
+	}, nil
+}
+
+// Name implements Engine.
+func (t *TensorParallel) Name() string { return t.name }
+
+// GPUs implements Engine.
+func (t *TensorParallel) GPUs() int { return 2 }
+
+// Cache implements Engine.
+func (t *TensorParallel) Cache() *kvcache.Manager { return t.cache }
+
+// commSeconds prices the two all-reduces per layer over the fresh tokens'
+// activations.
+func (t *TensorParallel) commSeconds(fresh int) float64 {
+	if fresh == 0 {
+		return 0
+	}
+	m := t.cfg.Model
+	g := t.cfg.GPU
+	perAllReduce := float64(fresh) * float64(m.Hidden) * float64(m.ActDType.Bytes())
+	ops := 2 * float64(m.Layers)
+	return ops*perAllReduce*linkCrossings(g)/g.PeerBWBytes + ops*collectiveLatency
+}
+
+// Submit implements Engine.
+func (t *TensorParallel) Submit(r *sched.Request) {
+	t.scheduler.Enqueue(r)
+	t.dispatch()
+}
+
+func (t *TensorParallel) dispatch() {
+	if t.busy {
+		return
+	}
+	now := t.sim.Now()
+	r := t.scheduler.Next(now)
+	if r == nil {
+		return
+	}
+	t.busy = true
+	hashes := hashesOf(r, t.cache.BlockTokens())
+	cached, unpin := t.cache.PinH(hashes, now)
+	if cached > r.Len() {
+		cached = r.Len()
+	}
+	fresh := r.Len() - cached
+	need := int64(fresh) * t.cfg.Model.KVBytesPerToken()
+	spilled, releaseReservation := t.cache.Reserve(need)
+	spilled += 2 * t.prof.actSpill(r.Len()) // both GPUs overflow their share
+
+	dur, err := t.exec.EstimateSeconds(graph.PassSpec{Total: r.Len(), Cached: cached}, t.opts)
+	if err != nil {
+		panic(fmt.Sprintf("engine %s: pricing request %d: %v", t.name, r.ID, err))
+	}
+	dur += t.commSeconds(fresh)
+	// Both GPUs spill their half of the overflow concurrently.
+	dur += spillSeconds(spilled, 2*t.cfg.GPU.HostBWBytes)
+
+	start := now
+	t.sim.After(dur, func() {
+		finish := t.sim.Now()
+		unpin()
+		releaseReservation()
+		t.cache.InsertH(hashes, finish)
+		t.cfg.emit(Record{
+			Req: r, Arrival: r.ArrivalTime, Start: start, Finish: finish,
+			CachedTokens: cached, SpilledBytes: spilled, Instance: t.name,
+		})
+		t.busy = false
+		t.dispatch()
+	})
+}
+
+// PipelineParallel is the PP=2 baseline: the layers are split into two
+// stages on two GPUs. A request flows through stage 0 then stage 1; the
+// stages process different requests concurrently, and pipeline bubbles
+// appear whenever consecutive requests have unequal lengths (§2.5).
+type PipelineParallel struct {
+	name      string
+	cfg       Config
+	sim       *sim.Sim
+	exec      *graph.Executor // per-stage (half the layers) cost model
+	opts      graph.Options
+	scheduler sched.Scheduler
+	cache     *kvcache.Manager
+	prof      profile
+
+	stageBusy [2]bool
+	handoff   []*ppInflight
+}
+
+type ppInflight struct {
+	r       *sched.Request
+	start   float64
+	cached  int
+	spilled int64
+	release func() // unpin + unreserve
+}
+
+// NewPipelineParallel builds the PP=2 baseline (standard prefill, FCFS,
+// full KV residency distributed across stages).
+func NewPipelineParallel(cfg Config) (*PipelineParallel, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	stage, err := cfg.Model.Shard(1, 2)
+	if err != nil {
+		return nil, err
+	}
+	exec := graph.New(stage, cfg.GPU)
+	opts := graph.StandardOptions()
+	prof, err := buildProfile(exec, opts, cfg.GPU, stage.WeightBytes(), cfg.ProfileMaxLen)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline-parallel: %w", err)
+	}
+	cache, err := kvcache.New(kvcache.Config{
+		BlockTokens:   cfg.blockTokens(),
+		BytesPerToken: cfg.Model.KVBytesPerToken(),
+		CapacityBytes: 2 * prof.pool,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &PipelineParallel{
+		name:      "pipeline-parallel",
+		cfg:       cfg,
+		sim:       cfg.Sim,
+		exec:      exec,
+		opts:      opts,
+		scheduler: sched.NewFIFO(),
+		cache:     cache,
+		prof:      prof,
+	}, nil
+}
+
+// Name implements Engine.
+func (p *PipelineParallel) Name() string { return p.name }
+
+// GPUs implements Engine.
+func (p *PipelineParallel) GPUs() int { return 2 }
+
+// Cache implements Engine.
+func (p *PipelineParallel) Cache() *kvcache.Manager { return p.cache }
+
+// Submit implements Engine.
+func (p *PipelineParallel) Submit(r *sched.Request) {
+	p.scheduler.Enqueue(r)
+	p.dispatch0()
+}
+
+// stageSeconds prices one stage's share of a request plus the activation
+// handoff to the next stage.
+func (p *PipelineParallel) stageSeconds(r *sched.Request, cached int) float64 {
+	dur, err := p.exec.EstimateSeconds(graph.PassSpec{Total: r.Len(), Cached: cached}, p.opts)
+	if err != nil {
+		panic(fmt.Sprintf("engine %s: pricing request %d: %v", p.name, r.ID, err))
+	}
+	return dur
+}
+
+// handoffSeconds prices streaming the fresh tokens' hidden states between
+// stages.
+func (p *PipelineParallel) handoffSeconds(fresh int) float64 {
+	m := p.cfg.Model
+	g := p.cfg.GPU
+	bytes := float64(fresh) * float64(m.Hidden) * float64(m.ActDType.Bytes())
+	return bytes*linkCrossings(g)/g.PeerBWBytes + collectiveLatency
+}
+
+func (p *PipelineParallel) dispatch0() {
+	if p.stageBusy[0] {
+		return
+	}
+	now := p.sim.Now()
+	r := p.scheduler.Next(now)
+	if r == nil {
+		return
+	}
+	p.stageBusy[0] = true
+	hashes := hashesOf(r, p.cache.BlockTokens())
+	cached, unpin := p.cache.PinH(hashes, now)
+	if cached > r.Len() {
+		cached = r.Len()
+	}
+	fresh := r.Len() - cached
+	need := int64(fresh) * p.cfg.Model.KVBytesPerToken()
+	spilled, unreserve := p.cache.Reserve(need)
+	spilled += 2 * p.prof.actSpill(r.Len()) // both stages overflow their share
+
+	inf := &ppInflight{
+		r: r, start: now, cached: cached, spilled: spilled,
+		release: func() { unpin(); unreserve() },
+	}
+	dur := ppStageImbalance*p.stageSeconds(r, cached) + p.handoffSeconds(fresh) +
+		spillSeconds(spilled/2, p.cfg.GPU.HostBWBytes)
+	p.sim.After(dur, func() {
+		p.stageBusy[0] = false
+		p.handoff = append(p.handoff, inf)
+		p.dispatch1()
+		p.dispatch0()
+	})
+}
+
+func (p *PipelineParallel) dispatch1() {
+	if p.stageBusy[1] || len(p.handoff) == 0 {
+		return
+	}
+	inf := p.handoff[0]
+	p.handoff[0] = nil
+	p.handoff = p.handoff[1:]
+	p.stageBusy[1] = true
+	dur := p.stageSeconds(inf.r, inf.cached) + spillSeconds(inf.spilled/2, p.cfg.GPU.HostBWBytes)
+	p.sim.After(dur, func() {
+		finish := p.sim.Now()
+		inf.release()
+		p.cache.InsertH(hashesOf(inf.r, p.cache.BlockTokens()), finish)
+		p.cfg.emit(Record{
+			Req: inf.r, Arrival: inf.r.ArrivalTime, Start: inf.start, Finish: finish,
+			CachedTokens: inf.cached, SpilledBytes: inf.spilled, Instance: p.name,
+		})
+		p.stageBusy[1] = false
+		p.dispatch1()
+	})
+}

@@ -1,0 +1,245 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/kvcache"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Serial is a single-device engine that executes one request at a time —
+// the right discipline for compute-bound prefill-only work (§6.1: batching
+// prefill-only requests inflates latency without improving throughput).
+// PrefillOnly and the two non-parallel baselines are all Serial engines;
+// they differ in prefill strategy, KV residency, and scheduler.
+type Serial struct {
+	name      string
+	cfg       Config
+	sim       *sim.Sim
+	exec      *graph.Executor
+	opts      graph.Options
+	scheduler sched.Scheduler
+	cache     *kvcache.Manager
+
+	// residentKV is true for conventional engines that must hold a
+	// running request's full fresh KV in the pool (PagedAttention,
+	// chunked prefill); false for PrefillOnly, which discards it during
+	// inference.
+	residentKV bool
+	prof       profile
+
+	busy bool
+}
+
+// SerialSpec configures a Serial engine beyond the shared Config.
+type SerialSpec struct {
+	// Name labels the engine in records and output.
+	Name string
+	// Opts is the prefill execution strategy.
+	Opts graph.Options
+	// Scheduler orders the waiting queue. When nil, FIFO is used.
+	Scheduler sched.Scheduler
+	// ResidentKV requires pool space for a running request's fresh KV.
+	ResidentKV bool
+}
+
+// NewSerial builds a Serial engine: it performs the profile run, sizes the
+// prefix-cache pool from the remaining memory, and binds to the simulator.
+func NewSerial(cfg Config, spec SerialSpec) (*Serial, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Opts.Validate(); err != nil {
+		return nil, err
+	}
+	exec := graph.New(cfg.Model, cfg.GPU)
+	prof, err := buildProfile(exec, spec.Opts, cfg.GPU, cfg.Model.WeightBytes(), cfg.ProfileMaxLen)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", spec.Name, err)
+	}
+	cache, err := kvcache.New(kvcache.Config{
+		BlockTokens:       cfg.blockTokens(),
+		BytesPerToken:     cfg.Model.KVBytesPerToken(),
+		CapacityBytes:     prof.pool,
+		HostCapacityBytes: cfg.HostCacheBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Serial{
+		name:       spec.Name,
+		cfg:        cfg,
+		sim:        cfg.Sim,
+		exec:       exec,
+		opts:       spec.Opts,
+		scheduler:  spec.Scheduler,
+		cache:      cache,
+		residentKV: spec.ResidentKV,
+		prof:       prof,
+	}
+	if s.scheduler == nil {
+		s.scheduler = sched.NewFIFO()
+	}
+	return s, nil
+}
+
+// Name implements Engine.
+func (s *Serial) Name() string { return s.name }
+
+// GPUs implements Engine.
+func (s *Serial) GPUs() int { return 1 }
+
+// Cache implements Engine.
+func (s *Serial) Cache() *kvcache.Manager { return s.cache }
+
+// Scheduler exposes the queue policy (used by internal/core to wire JCT
+// calibration).
+func (s *Serial) Scheduler() sched.Scheduler { return s.scheduler }
+
+// Executor exposes the cost model (used for JCT profiling).
+func (s *Serial) Executor() *graph.Executor { return s.exec }
+
+// Options returns the engine's prefill strategy.
+func (s *Serial) Options() graph.Options { return s.opts }
+
+// Submit implements Engine.
+func (s *Serial) Submit(r *sched.Request) {
+	s.scheduler.Enqueue(r)
+	s.dispatch()
+}
+
+// dispatch starts the scheduler's next request if the device is idle.
+func (s *Serial) dispatch() {
+	if s.busy {
+		return
+	}
+	now := s.sim.Now()
+	r := s.scheduler.Next(now)
+	if r == nil {
+		return
+	}
+	s.busy = true
+
+	hashes := hashesOf(r, s.cache.BlockTokens())
+	cached, unpin := s.cache.PinH(hashes, now)
+	if cached > r.Len() {
+		cached = r.Len()
+	}
+	// §9 extension: if the blocks following the GPU hit are in the host
+	// offload tier, restore them over the host link when that beats
+	// recomputing them.
+	restored := 0
+	var restoreSeconds float64
+	if hostHit := s.cache.HostHitH(hashes, cached/s.cache.BlockTokens()); hostHit > 0 {
+		withRestore := cached + hostHit
+		if withRestore > r.Len() {
+			withRestore = r.Len()
+		}
+		tRecompute, err1 := s.exec.EstimateSeconds(graph.PassSpec{Total: r.Len(), Cached: cached}, s.opts)
+		tRestoredPass, err2 := s.exec.EstimateSeconds(graph.PassSpec{Total: r.Len(), Cached: withRestore}, s.opts)
+		if err1 == nil && err2 == nil {
+			loadTime := float64(int64(withRestore-cached)*s.cfg.Model.KVBytesPerToken()) / s.cfg.GPU.HostBWBytes
+			if tRestoredPass+loadTime < tRecompute {
+				restored = withRestore - cached
+				cached = withRestore
+				restoreSeconds = loadTime
+			}
+		}
+	}
+	fresh := r.Len() - cached
+
+	// Conventional engines must page the fresh KV into the pool for the
+	// duration of execution; shortfall spills over the host link twice
+	// (written out during prefill, read back by later layers' attention).
+	// Requests longer than the profiled length additionally spill their
+	// excess activation working set.
+	spilled := s.prof.actSpill(r.Len())
+	releaseReservation := func() {}
+	if s.residentKV {
+		need := int64(fresh) * s.cfg.Model.KVBytesPerToken()
+		var short int64
+		short, releaseReservation = s.cache.Reserve(need)
+		spilled += short
+	}
+
+	dur, err := s.exec.EstimateSeconds(graph.PassSpec{Total: r.Len(), Cached: cached}, s.opts)
+	if err != nil {
+		// Cost-model failure is a programming error (specs are
+		// validated at submit); fail loudly.
+		panic(fmt.Sprintf("engine %s: pricing request %d: %v", s.name, r.ID, err))
+	}
+	dur += restoreSeconds + spillSeconds(spilled, s.cfg.GPU.HostBWBytes)
+
+	start := now
+	s.sim.After(dur, func() {
+		finish := s.sim.Now()
+		unpin()
+		releaseReservation()
+		// Cache what was computed: full insert for conventional
+		// engines (their KV is already in the pool), prefix-first
+		// insert with suffix discarding for PrefillOnly.
+		s.cache.InsertH(hashes, finish)
+		s.cfg.emit(Record{
+			Req:            r,
+			Arrival:        r.ArrivalTime,
+			Start:          start,
+			Finish:         finish,
+			CachedTokens:   cached,
+			SpilledBytes:   spilled,
+			RestoredTokens: restored,
+			Instance:       s.name,
+		})
+		s.busy = false
+		s.dispatch()
+	})
+}
+
+// spillSeconds prices the beyond-MIL fallback: each spilled byte crosses
+// the host link twice.
+func spillSeconds(bytes int64, hostBW float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return 2 * float64(bytes) / hostBW
+}
+
+// ReplaceScheduler swaps the queue policy of an idle, empty engine. It
+// exists so internal/core can wire a scheduler whose JCT function closes
+// over the engine's own cache and cost model.
+func ReplaceScheduler(s *Serial, sc sched.Scheduler) error {
+	if sc == nil {
+		return fmt.Errorf("engine: nil scheduler")
+	}
+	if s.busy || s.scheduler.Len() > 0 {
+		return fmt.Errorf("engine %s: cannot replace scheduler with work in flight", s.name)
+	}
+	s.scheduler = sc
+	return nil
+}
+
+// NewPagedAttention builds the PagedAttention baseline: standard prefill,
+// full KV residency, FCFS scheduling (vLLM's defaults).
+func NewPagedAttention(cfg Config) (*Serial, error) {
+	return NewSerial(cfg, SerialSpec{
+		Name:       "pagedattention",
+		Opts:       graph.StandardOptions(),
+		Scheduler:  sched.NewFIFO(),
+		ResidentKV: true,
+	})
+}
+
+// NewChunkedPrefill builds the chunked-prefill baseline (Sarathi-Serve):
+// chunked execution, full KV residency, FCFS scheduling.
+func NewChunkedPrefill(cfg Config, chunk int) (*Serial, error) {
+	if chunk <= 0 {
+		chunk = graph.DefaultChunkSize
+	}
+	return NewSerial(cfg, SerialSpec{
+		Name:       "chunked-prefill",
+		Opts:       graph.ChunkedOptions(chunk),
+		Scheduler:  sched.NewFIFO(),
+		ResidentKV: true,
+	})
+}

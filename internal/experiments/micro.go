@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"repro/internal/graph"
+	"repro/internal/hw"
+	"repro/internal/jct"
+	"repro/internal/model"
+)
+
+// Section23Result is the §2.3 micro-measurement: a 2048-token-input,
+// 256-token-output generative request vs a 2048-token prefill-only request.
+type Section23Result struct {
+	PrefillSeconds    float64
+	GenerativeSeconds float64
+	Slowdown          float64 // paper: ~1.5×
+	DecodeBatch       int
+}
+
+// Section23 prices both requests on Llama-3.1-8B / H100 with decoding
+// amortized over a continuous batch (the paper measures a loaded server).
+func Section23(decodeBatch int) (*Section23Result, error) {
+	if decodeBatch <= 0 {
+		decodeBatch = 64
+	}
+	exec := graph.New(model.Llama31_8B(), hw.H100PCIe())
+	prefill, err := exec.EstimateSeconds(graph.PassSpec{Total: 2048}, graph.StandardOptions())
+	if err != nil {
+		return nil, err
+	}
+	decode := 0.0
+	for i := 0; i < 256; i++ {
+		decode += exec.DecodeStepSeconds(2048+i, decodeBatch)
+	}
+	gen := prefill + decode
+	return &Section23Result{
+		PrefillSeconds:    prefill,
+		GenerativeSeconds: gen,
+		Slowdown:          gen / prefill,
+		DecodeBatch:       decodeBatch,
+	}, nil
+}
+
+// Section63Result is the JCT-proxy validation (§6.3).
+type Section63Result struct {
+	Pearson float64 // paper: 0.987 on Qwen-32B FP8 / A100
+	Points  int
+}
+
+// Section63 computes the Pearson correlation between modelled JCT and
+// cache-miss tokens over the paper's profiling grid (Qwen-32B FP8 on A100,
+// up to 40k tokens at 1000-token granularity).
+func Section63() (*Section63Result, error) {
+	exec := graph.New(model.Qwen32BFP8(), hw.A100())
+	measure := func(nInput, nCached int) (float64, error) {
+		return exec.EstimateSeconds(
+			graph.PassSpec{Total: nInput, Cached: nCached},
+			graph.HybridOptions(graph.DefaultChunkSize))
+	}
+	const maxLen = 40000
+	r, err := jct.ProxyCorrelation(measure, maxLen, jct.ProfileGranularity)
+	if err != nil {
+		return nil, err
+	}
+	points := 0
+	for n := jct.ProfileGranularity; n <= maxLen; n += jct.ProfileGranularity {
+		points += n/jct.ProfileGranularity + 1
+	}
+	return &Section63Result{Pearson: r, Points: points}, nil
+}

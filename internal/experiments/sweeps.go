@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// QPSLatencyPoint is one (engine, qps) point of Figures 6 and 7.
+type QPSLatencyPoint struct {
+	Engine         EngineKind
+	QPS            float64
+	MeanLatency    float64
+	P99Latency     float64
+	ThroughputRPS  float64
+	CacheHitRate   float64
+	InfeasibleFrac float64
+}
+
+// QPSLatencyPanel is one panel of Figures 6/7 (a scenario × dataset pair).
+type QPSLatencyPanel struct {
+	Scenario      string
+	Dataset       string
+	SaturationQPS float64
+	Points        []QPSLatencyPoint
+}
+
+// QPSLatency regenerates one Figure-6/7 panel: it measures PrefillOnly's
+// saturation throughput x, then sweeps every engine over x·multipliers.
+// Engines may be restricted (nil = all five).
+func QPSLatency(sc Scenario, kind DatasetKind, engines []EngineKind, seed int64) (*QPSLatencyPanel, error) {
+	if engines == nil {
+		engines = AllEngines()
+	}
+	ds := kind.Generate(seed)
+	x, err := SaturationQPS(PrefillOnly, sc, ds)
+	if err != nil {
+		return nil, fmt.Errorf("saturation on %s/%s: %w", sc.Name, kind, err)
+	}
+	panel := &QPSLatencyPanel{Scenario: sc.Name, Dataset: kind.String(), SaturationQPS: x}
+	for _, eng := range engines {
+		for _, mult := range QPSGridMultipliers {
+			qps := x * mult
+			res, err := Run(RunConfig{
+				Kind: eng, Scenario: sc, Dataset: ds, QPS: qps, Seed: seed + int64(mult*100),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%v at %.3f qps on %s/%s: %w", eng, qps, sc.Name, kind, err)
+			}
+			panel.Points = append(panel.Points, QPSLatencyPoint{
+				Engine:         eng,
+				QPS:            qps,
+				MeanLatency:    res.Latency.Mean,
+				P99Latency:     res.Latency.P99,
+				ThroughputRPS:  res.ThroughputRPS,
+				CacheHitRate:   res.CacheHitRate,
+				InfeasibleFrac: res.InfeasibleFrac,
+			})
+		}
+	}
+	return panel, nil
+}
+
+// Figure8Row is one bar of Figure 8: saturation throughput of an engine on
+// credit verification, 2×H100, with and without NVLink.
+type Figure8Row struct {
+	Engine        EngineKind
+	NVLink        bool
+	ThroughputRPS float64
+}
+
+// Figure8 regenerates the NVLink throughput comparison.
+func Figure8(seed int64) ([]Figure8Row, error) {
+	ds := CreditVerification.Generate(seed)
+	var out []Figure8Row
+	for _, scName := range []string{"H100", "H100-NVLink"} {
+		sc, err := ScenarioByName(scName)
+		if err != nil {
+			return nil, err
+		}
+		for _, eng := range []EngineKind{PrefillOnly, PipelineParallel, TensorParallel} {
+			tput, err := SaturationQPS(eng, sc, ds)
+			if err != nil {
+				return nil, fmt.Errorf("figure8 %v on %s: %w", eng, scName, err)
+			}
+			out = append(out, Figure8Row{Engine: eng, NVLink: scName == "H100-NVLink", ThroughputRPS: tput})
+		}
+	}
+	return out, nil
+}
+
+// Figure9Point is one point of the throughput-vs-QPS curves of Figure 9.
+type Figure9Point struct {
+	Engine        EngineKind
+	QPS           float64
+	ThroughputRPS float64
+	CacheHitRate  float64
+}
+
+// Figure9 regenerates the prefix-cache-throttling study: post
+// recommendation on 2×H100 (no NVLink), throughput as offered QPS grows,
+// for PrefillOnly, chunked prefill, PP and TP.
+func Figure9(seed int64) ([]Figure9Point, error) {
+	sc, err := ScenarioByName("H100")
+	if err != nil {
+		return nil, err
+	}
+	ds := PostRecommendation.Generate(seed)
+	x, err := SaturationQPS(PrefillOnly, sc, ds)
+	if err != nil {
+		return nil, err
+	}
+	engines := []EngineKind{PrefillOnly, ChunkedPrefill, PipelineParallel, TensorParallel}
+	var out []Figure9Point
+	for _, eng := range engines {
+		for _, mult := range []float64{0.25, 0.5, 1, 1.5, 2, 3, 4} {
+			qps := x * mult
+			res, err := Run(RunConfig{Kind: eng, Scenario: sc, Dataset: ds, QPS: qps, Seed: seed})
+			if err != nil {
+				return nil, fmt.Errorf("figure9 %v at %.2f: %w", eng, qps, err)
+			}
+			out = append(out, Figure9Point{
+				Engine: eng, QPS: qps,
+				ThroughputRPS: res.ThroughputRPS,
+				CacheHitRate:  res.CacheHitRate,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Figure11Curve is one CDF of Figure 11 (a fairness-parameter setting).
+type Figure11Curve struct {
+	Lambda      float64
+	MeanLatency float64
+	P99Latency  float64
+	CDF         []metrics.CDFPoint
+}
+
+// Figure11 regenerates the λ sensitivity study: latency CDFs of
+// PrefillOnly under λ ∈ {0, 200, 2000} on post recommendation at the
+// saturation rate (enough queueing for SRJF starvation to appear, not so
+// much that every policy thrashes).
+func Figure11(seed int64) ([]Figure11Curve, error) {
+	sc, err := ScenarioByName("L4")
+	if err != nil {
+		return nil, err
+	}
+	ds := PostRecommendation.Generate(seed)
+	x, err := SaturationQPS(PrefillOnly, sc, ds)
+	if err != nil {
+		return nil, err
+	}
+	qps := x
+	var out []Figure11Curve
+	for _, lambda := range []float64{-1, 200, 2000} { // -1 encodes literal 0
+		res, err := Run(RunConfig{Kind: PrefillOnly, Scenario: sc, Dataset: ds, QPS: qps, Seed: seed, Lambda: lambda})
+		if err != nil {
+			return nil, fmt.Errorf("figure11 λ=%v: %w", lambda, err)
+		}
+		shown := lambda
+		if lambda < 0 {
+			shown = 0
+		}
+		out = append(out, Figure11Curve{
+			Lambda:      shown,
+			MeanLatency: res.Latency.Mean,
+			P99Latency:  res.Latency.P99,
+			CDF:         metrics.CDF(res.Latencies, 200),
+		})
+	}
+	return out, nil
+}
+
+// SmallDataset scales a dataset kind down for fast runs (tests and smoke
+// benches): fewer users, shorter credit histories.
+func SmallDataset(kind DatasetKind, seed int64) *workload.Dataset {
+	if kind == CreditVerification {
+		return workload.CreditVerification(workload.CreditVerificationConfig{Users: 8, Seed: seed})
+	}
+	return workload.PostRecommendation(workload.PostRecommendationConfig{Users: 8, PostsPerUser: 12, Seed: seed})
+}

@@ -1,0 +1,98 @@
+package graph
+
+import "repro/internal/memory"
+
+// runChunked executes the chunked-prefill baseline: the fresh tokens are
+// split into ChunkSize pieces and each piece makes a full pass through the
+// network. The KV cache of every chunk at every layer must stay resident
+// between passes (this is what caps chunked prefill's MIL gains at <2×,
+// §2.5), and the attention kernel runs at reduced efficiency.
+func (p *pass) runChunked() (retainedKV int64, err error) {
+	s := int64(p.spec.Fresh())
+	if s == 0 {
+		return 0, p.runLMHeadOnly()
+	}
+	m := p.e.model
+	chunk := int64(p.opts.ChunkSize)
+	totalAttn := m.AttnFLOPsRange(p.spec.Cached, p.spec.Total)
+	// Pair-count denominator for apportioning attention work to passes.
+	tot := int64(p.spec.Total)
+	cc := int64(p.spec.Cached)
+	denom := tot*(tot+1) - cc*(cc+1)
+
+	var kvAllocs []*memory.Allocation
+	defer func() {
+		for _, a := range kvAllocs {
+			p.mem.Free(a)
+		}
+	}()
+
+	for off := int64(0); off < s; off += chunk {
+		k := min64(chunk, s-off)
+		start := cc + off
+		end := start + k
+		// Attention work of this pass: the pair share of its positions.
+		var passAttn int64
+		if denom > 0 {
+			passAttn = int64(float64(totalAttn) * float64(end*(end+1)-start*(start+1)) / float64(denom))
+		}
+		hidden, err := p.mem.Alloc(k*p.hidTok, "hidden")
+		if err != nil {
+			return 0, err
+		}
+		for layer := 0; layer < m.Layers; layer++ {
+			kv, lerr := p.runChunkedLayer(k, passAttn/int64(m.Layers))
+			if lerr != nil {
+				p.mem.Free(hidden)
+				return 0, lerr
+			}
+			kvAllocs = append(kvAllocs, kv)
+			retainedKV += kv.Bytes()
+		}
+		p.mem.Free(hidden)
+	}
+	if err := p.runLMHeadOnly(); err != nil {
+		return 0, err
+	}
+	return retainedKV, nil
+}
+
+// runChunkedLayer is one transformer block over a k-token chunk with
+// full-KV retention. Returned KV allocation is owned by the caller.
+func (p *pass) runChunkedLayer(k int64, attnFlops int64) (*memory.Allocation, error) {
+	m := p.e.model
+	q := int64(m.QDim())
+	h := int64(m.Hidden)
+	kvd := int64(m.KVDim())
+	inter := int64(m.Intermediate)
+
+	qkv, err := p.alloc(k*p.qkvTok, "qkv", 2*k*h*(q+2*kvd)+5*k*h, p.effLinear)
+	if err != nil {
+		return nil, err
+	}
+	kv, err := p.mem.Alloc(k*p.kvTok, "kvcache")
+	if err != nil {
+		p.mem.Free(qkv)
+		return nil, err
+	}
+	attnOut, err := p.alloc(k*p.attnTok, "attn.out", attnFlops, p.effAttn)
+	if err != nil {
+		p.mem.Free(qkv)
+		p.mem.Free(kv)
+		return nil, err
+	}
+	p.mem.Free(qkv)
+	oproj, err := p.alloc(k*p.hidTok, "attn.oproj", 2*k*q*h, p.effLinear)
+	if err != nil {
+		p.mem.Free(attnOut)
+		p.mem.Free(kv)
+		return nil, err
+	}
+	p.mem.Free(attnOut)
+	p.mem.Free(oproj)
+	if err := p.standardMLP(k, 4*k*h*inter, 2*k*inter*h, 5*k*h); err != nil {
+		p.mem.Free(kv)
+		return nil, err
+	}
+	return kv, nil
+}

@@ -1,0 +1,435 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/memory"
+)
+
+// pass is the internal execution state of one modelled forward pass. It
+// walks the layer-by-layer allocation sequence, charging simulated time per
+// op and allocating/freeing simulated tensors, so time and memory derive
+// from one description of the computation.
+type pass struct {
+	e     *Executor
+	spec  PassSpec
+	opts  Options
+	mem   *memory.Allocator
+	clock float64 // simulated seconds since pass start
+
+	// Per-token byte sizes, hoisted for readability.
+	hidTok  int64
+	qkvTok  int64
+	attnTok int64
+	int1Tok int64
+	int2Tok int64
+	kvTok   int64 // one-layer KV per token
+
+	effLinear float64 // sustained FLOP/s for dense matmuls
+	effAttn   float64 // sustained FLOP/s for the attention kernel
+}
+
+// chunkAttnAlpha calibrates the chunked-prefill attention efficiency
+// penalty eff = chunk/(chunk+alpha); alpha=260 reproduces the paper's ~14%
+// end-to-end slowdown for chunk 512 on a 20k-token request (§2.5).
+const chunkAttnAlpha = 260
+
+// kernelsPerOp approximates how many kernel launches one logical op costs
+// (norm + matmul + epilogue fusions).
+const kernelsPerOp = 1.5
+
+func newPass(e *Executor, spec PassSpec, opts Options, mem *memory.Allocator) *pass {
+	m := e.model
+	p := &pass{
+		e:       e,
+		spec:    spec,
+		opts:    opts,
+		mem:     mem,
+		hidTok:  m.HiddenBytesPerToken(),
+		qkvTok:  m.QKVBytesPerToken(),
+		attnTok: m.AttnOutBytesPerToken(),
+		int1Tok: m.MLPIntermediate1BytesPerToken(),
+		int2Tok: m.MLPIntermediate2BytesPerToken(),
+		kvTok:   m.KVBytesPerTokenLayer(),
+	}
+	p.effLinear = e.gpu.EffectiveFLOPs(m.WeightDType.Bytes())
+	p.effAttn = p.effLinear
+	if opts.Mode == Chunked {
+		p.effAttn *= float64(opts.ChunkSize) / float64(opts.ChunkSize+chunkAttnAlpha)
+	}
+	return p
+}
+
+// tick charges the time of one op: its FLOPs at the given efficiency plus
+// kernel-launch overhead.
+func (p *pass) tick(flops int64, eff float64) {
+	p.clock += float64(flops)/eff + kernelsPerOp*p.e.gpu.KernelLaunchOverhead
+}
+
+// alloc allocates a tensor after charging op time, so trace timestamps
+// reflect when each tensor comes into existence.
+func (p *pass) alloc(bytes int64, tag string, flops int64, eff float64) (*memory.Allocation, error) {
+	p.tick(flops, eff)
+	return p.mem.Alloc(bytes, tag)
+}
+
+// Run executes the configured pass and returns its result. The allocator
+// must be dedicated to this pass: Run frees everything it allocates (peak
+// is captured by the allocator's high-water mark), mirroring a request
+// whose working memory is released when it completes.
+func (e *Executor) Run(spec PassSpec, opts Options, mem *memory.Allocator, trace bool) (Result, error) {
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := opts.Validate(); err != nil {
+		return Result{}, err
+	}
+	p := newPass(e, spec, opts, mem)
+	if trace {
+		mem.SetClock(func() float64 { return p.clock })
+		mem.StartTrace()
+	}
+	basePeak := mem.Live()
+	mem.ResetPeak()
+
+	var retained int64
+	var err error
+	switch opts.Mode {
+	case Standard:
+		retained, err = p.runSinglePass()
+	case Hybrid:
+		retained, err = p.runSinglePass()
+	case Chunked:
+		retained, err = p.runChunked()
+	default:
+		err = fmt.Errorf("graph: unknown mode %v", opts.Mode)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Seconds:         p.clock,
+		PeakBytes:       mem.Peak() - basePeak,
+		KVRetainedBytes: retained,
+	}
+	if trace {
+		res.Trace = mem.StopTrace()
+	}
+	return res, nil
+}
+
+// runSinglePass executes Standard and Hybrid modes: one pass over the fresh
+// tokens. In Hybrid mode the linear ops are chunked (their intermediates are
+// chunk-sized) while attention sees the full sequence; in Standard mode
+// everything is full length.
+func (p *pass) runSinglePass() (retainedKV int64, err error) {
+	s := int64(p.spec.Fresh())
+	if s == 0 {
+		return 0, p.runLMHeadOnly()
+	}
+	m := p.e.model
+	layers := m.Layers
+
+	// Residual stream for the fresh tokens, live across the whole pass.
+	hiddenT, err := p.mem.Alloc(s*p.hidTok, "hidden")
+	if err != nil {
+		return 0, err
+	}
+	defer p.mem.Free(hiddenT)
+
+	var kvRetained []*memory.Allocation
+	defer func() {
+		for _, a := range kvRetained {
+			p.mem.Free(a)
+		}
+	}()
+
+	for layer := 0; layer < layers; layer++ {
+		kv, lerr := p.runLayer(s, layer)
+		if lerr != nil {
+			return 0, lerr
+		}
+		if kv != nil {
+			if p.opts.KV == RetainAll {
+				kvRetained = append(kvRetained, kv)
+				retainedKV += kv.Bytes()
+			} else {
+				// Suffix KV cache discarding: the KV of this
+				// layer dies as soon as the layer completes.
+				p.mem.Free(kv)
+			}
+		}
+	}
+	if err := p.runHead(); err != nil {
+		return 0, err
+	}
+	return retainedKV, nil
+}
+
+// runLayer models one transformer block over s fresh tokens and returns the
+// layer's fresh KV cache allocation (owned by the caller).
+func (p *pass) runLayer(s int64, layer int) (*memory.Allocation, error) {
+	m := p.e.model
+	hybrid := p.opts.Mode == Hybrid
+	q := int64(m.QDim())
+	h := int64(m.Hidden)
+	kvd := int64(m.KVDim())
+	inter := int64(m.Intermediate)
+
+	flopsQKV := 2 * s * h * (q + 2*kvd)
+	flopsAttn := m.AttnFLOPsRange(p.spec.Cached, p.spec.Total) / int64(m.Layers)
+	flopsO := 2 * s * q * h
+	flopsGateUp := 4 * s * h * inter
+	flopsDown := 2 * s * inter * h
+	normFlops := 5 * s * h
+
+	// --- Attention sub-block ---
+	// QKV projection: a linear op. Hybrid chunks it, but its output must
+	// be fully materialized because attention consumes the whole
+	// sequence at once.
+	qkv, err := p.linear(s, p.hidTok, s*p.qkvTok, "qkv", flopsQKV+normFlops, hybrid)
+	if err != nil {
+		return nil, err
+	}
+	// The fresh K/V entries live inside the qkv tensor; a separate
+	// kvcache block is written when the engine retains full KV.
+	var kv *memory.Allocation
+	if p.opts.KV == RetainAll {
+		kv, err = p.mem.Alloc(s*p.kvTok, "kvcache")
+		if err != nil {
+			p.mem.Free(qkv)
+			return nil, err
+		}
+	}
+	// Attention runs "normally" (full length) in both Standard and
+	// Hybrid; Chunked mode never reaches this path. With the in-place
+	// optimization the attention output overwrites the query region of
+	// the qkv tensor (they share a shape), eliding the allocation.
+	var attnOut *memory.Allocation
+	if hybrid && p.opts.InPlace {
+		p.tick(flopsAttn, p.effAttn)
+	} else {
+		attnOut, err = p.alloc(s*p.attnTok, "attn.out", flopsAttn, p.effAttn)
+		if err != nil {
+			p.mem.Free(qkv)
+			p.mem.Free(kv)
+			return nil, err
+		}
+		p.mem.Free(qkv)
+		qkv = nil
+	}
+	// Output projection: linear, chunked under hybrid; with InPlace its
+	// result reuses the residual stream's memory.
+	if err := p.linearInto(s, p.attnTok, s*p.hidTok, "attn.oproj", flopsO, hybrid); err != nil {
+		p.mem.Free(qkv)
+		p.mem.Free(attnOut)
+		p.mem.Free(kv)
+		return nil, err
+	}
+	p.mem.Free(qkv)
+	p.mem.Free(attnOut)
+
+	// --- MLP sub-block (the Figure-4 tensors) ---
+	if hybrid {
+		if err := p.hybridMLP(s, flopsGateUp, flopsDown, normFlops); err != nil {
+			p.mem.Free(kv)
+			return nil, err
+		}
+	} else {
+		if err := p.standardMLP(s, flopsGateUp, flopsDown, normFlops); err != nil {
+			p.mem.Free(kv)
+			return nil, err
+		}
+	}
+	return kv, nil
+}
+
+// standardMLP materializes the full-length intermediate tensors — the
+// memory spikes of Figure 3a.
+func (p *pass) standardMLP(s int64, flopsGateUp, flopsDown, normFlops int64) error {
+	int1, err := p.alloc(s*p.int1Tok, "mlp.intermediate1", flopsGateUp+normFlops, p.effLinear)
+	if err != nil {
+		return err
+	}
+	int2, err := p.alloc(s*p.int2Tok, "mlp.intermediate2", 2*s*int64(p.e.model.Intermediate), p.effLinear)
+	if err != nil {
+		p.mem.Free(int1)
+		return err
+	}
+	p.mem.Free(int1)
+	down, err := p.alloc(s*p.hidTok, "mlp.down", flopsDown, p.effLinear)
+	if err != nil {
+		p.mem.Free(int2)
+		return err
+	}
+	p.mem.Free(int2)
+	p.mem.Free(down) // residual-added into hidden
+	return nil
+}
+
+// hybridMLP processes the MLP chunk-by-chunk: only one chunk's
+// intermediates exist at a time (Figure 3b).
+func (p *pass) hybridMLP(s int64, flopsGateUp, flopsDown, normFlops int64) error {
+	chunk := int64(p.opts.ChunkSize)
+	var out *memory.Allocation
+	var err error
+	if !p.opts.InPlace {
+		// Without in-place reuse the MLP output needs its own
+		// full-length tensor (same shape as the residual stream).
+		out, err = p.mem.Alloc(s*p.hidTok, "mlp.out")
+		if err != nil {
+			return err
+		}
+	}
+	var pending []*memory.Allocation // chunk outputs awaiting concat (no prealloc)
+	freePending := func() {
+		for _, a := range pending {
+			p.mem.Free(a)
+		}
+		pending = nil
+	}
+	defer freePending()
+	defer func() { p.mem.Free(out) }()
+
+	for off := int64(0); off < s; off += chunk {
+		k := min64(chunk, s-off)
+		share := float64(k) / float64(s)
+		int1, err := p.alloc(k*p.int1Tok, "mlp.intermediate1",
+			int64(share*float64(flopsGateUp+normFlops)), p.effLinear)
+		if err != nil {
+			return err
+		}
+		int2, err := p.alloc(k*p.int2Tok, "mlp.intermediate2",
+			2*k*int64(p.e.model.Intermediate), p.effLinear)
+		if err != nil {
+			p.mem.Free(int1)
+			return err
+		}
+		p.mem.Free(int1)
+		if p.opts.OutputPrealloc {
+			// Chunk result written straight into the preallocated
+			// output (or the residual stream when in-place).
+			p.tick(int64(share*float64(flopsDown)), p.effLinear)
+			p.mem.Free(int2)
+		} else {
+			co, err := p.alloc(k*p.hidTok, "mlp.chunkout",
+				int64(share*float64(flopsDown)), p.effLinear)
+			if err != nil {
+				p.mem.Free(int2)
+				return err
+			}
+			p.mem.Free(int2)
+			pending = append(pending, co)
+		}
+	}
+	if !p.opts.OutputPrealloc {
+		// Concatenate the chunk outputs: the concat target coexists
+		// with all chunk outputs, doubling the output footprint (§4.3).
+		concat, err := p.mem.Alloc(s*p.hidTok, "mlp.concat")
+		if err != nil {
+			return err
+		}
+		freePending()
+		p.mem.Free(concat)
+	}
+	return nil
+}
+
+// linear models a chunkable linear op whose full output must be
+// materialized (e.g. the QKV projection under hybrid prefilling). Returns
+// the output allocation, owned by the caller.
+func (p *pass) linear(s int64, inTok int64, outBytes int64, tag string, flops int64, chunked bool) (*memory.Allocation, error) {
+	if !chunked {
+		return p.alloc(outBytes, tag, flops, p.effLinear)
+	}
+	chunk := int64(p.opts.ChunkSize)
+	if p.opts.OutputPrealloc {
+		out, err := p.mem.Alloc(outBytes, tag)
+		if err != nil {
+			return nil, err
+		}
+		for off := int64(0); off < s; off += chunk {
+			k := min64(chunk, s-off)
+			p.tick(int64(float64(flops)*float64(k)/float64(s)), p.effLinear)
+		}
+		return out, nil
+	}
+	// Without preallocation: chunk outputs accumulate, then a concat
+	// target of the full size coexists with them.
+	var pending []*memory.Allocation
+	perTokOut := outBytes / s
+	for off := int64(0); off < s; off += chunk {
+		k := min64(chunk, s-off)
+		co, err := p.alloc(k*perTokOut, tag+".chunk",
+			int64(float64(flops)*float64(k)/float64(s)), p.effLinear)
+		if err != nil {
+			for _, a := range pending {
+				p.mem.Free(a)
+			}
+			return nil, err
+		}
+		pending = append(pending, co)
+	}
+	out, err := p.mem.Alloc(outBytes, tag)
+	if err != nil {
+		for _, a := range pending {
+			p.mem.Free(a)
+		}
+		return nil, err
+	}
+	for _, a := range pending {
+		p.mem.Free(a)
+	}
+	return out, nil
+}
+
+// linearInto models a chunkable linear op whose output has the residual
+// stream's shape, so InPlace can elide the allocation entirely.
+func (p *pass) linearInto(s int64, inTok int64, outBytes int64, tag string, flops int64, chunked bool) error {
+	if chunked && p.opts.InPlace {
+		// Output chunks overwrite the input tensor's memory: no
+		// allocation, only compute time.
+		chunk := int64(p.opts.ChunkSize)
+		for off := int64(0); off < s; off += chunk {
+			k := min64(chunk, s-off)
+			p.tick(int64(float64(flops)*float64(k)/float64(s)), p.effLinear)
+		}
+		return nil
+	}
+	out, err := p.linear(s, inTok, outBytes, tag, flops, chunked)
+	if err != nil {
+		return err
+	}
+	p.mem.Free(out)
+	return nil
+}
+
+// runHead models the final norm + single-position lm-head of a prefill-only
+// request.
+func (p *pass) runHead() error {
+	m := p.e.model
+	logits, err := p.alloc(m.LogitsBytes(1), "logits", m.LMHeadFLOPs(), p.effLinear)
+	if err != nil {
+		return err
+	}
+	p.mem.Free(logits)
+	return nil
+}
+
+// runLMHeadOnly handles the degenerate fully-cached request: only the head
+// runs (on the last cached position).
+func (p *pass) runLMHeadOnly() error {
+	hidden, err := p.mem.Alloc(p.hidTok, "hidden")
+	if err != nil {
+		return err
+	}
+	defer p.mem.Free(hidden)
+	return p.runHead()
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,66 @@
+package graph
+
+import "math"
+
+// EstimateSeconds returns the modelled wall-clock duration of a pass
+// without touching an allocator. It mirrors the replay's time accounting
+// (same FLOP totals, same efficiency constants, same launch-overhead
+// counts), so engines can price thousands of requests cheaply; a test pins
+// the two within a small tolerance.
+func (e *Executor) EstimateSeconds(spec PassSpec, opts Options) (float64, error) {
+	if err := spec.Validate(); err != nil {
+		return 0, err
+	}
+	if err := opts.Validate(); err != nil {
+		return 0, err
+	}
+	m := e.model
+	fresh := int64(spec.Fresh())
+	effLinear := e.gpu.EffectiveFLOPs(m.WeightDType.Bytes())
+	effAttn := effLinear
+	if opts.Mode == Chunked {
+		effAttn *= float64(opts.ChunkSize) / float64(opts.ChunkSize+chunkAttnAlpha)
+	}
+
+	linFlops := fresh*m.LinearFLOPsPerToken() + m.LMHeadFLOPs()
+	attnFlops := m.AttnFLOPsRange(spec.Cached, spec.Total)
+
+	var ticks float64
+	L := float64(m.Layers)
+	switch {
+	case fresh == 0:
+		ticks = 1
+	case opts.Mode == Standard:
+		ticks = 6*L + 1
+	case opts.Mode == Chunked:
+		passes := math.Ceil(float64(fresh) / float64(opts.ChunkSize))
+		ticks = 6*L*passes + 1
+	case opts.Mode == Hybrid:
+		chunks := math.Ceil(float64(fresh) / float64(opts.ChunkSize))
+		ticks = L*(5*chunks+1) + 1
+	}
+	overhead := ticks * kernelsPerOp * e.gpu.KernelLaunchOverhead
+	return float64(linFlops)/effLinear + float64(attnFlops)/effAttn + overhead, nil
+}
+
+// DecodeStepSeconds models one autoregressive decoding step for a request
+// with ctx tokens of context, amortized over a continuous batch of the
+// given size. Decoding is memory-bandwidth bound: the weights are streamed
+// once per batch step and the request's own KV cache is streamed per
+// request.
+//
+// This is used only by the §2.3 micro-benchmark contrasting prefill-only
+// with generative requests; PrefillOnly itself never decodes.
+func (e *Executor) DecodeStepSeconds(ctx, batch int) float64 {
+	if batch < 1 {
+		batch = 1
+	}
+	m := e.model
+	weightRead := float64(m.WeightBytes()) / float64(batch) / e.gpu.MemBWBytes
+	kvRead := float64(m.KVBytes(ctx)) / e.gpu.MemBWBytes
+	flops := float64(m.DecodeFLOPsPerToken(ctx)) / e.gpu.EffectiveFLOPs(m.WeightDType.Bytes())
+	// Decode steps are CUDA-graph captured in modern engines, so the
+	// whole step costs a handful of launches rather than one per kernel.
+	launch := 10 * e.gpu.KernelLaunchOverhead
+	return math.Max(weightRead+kvRead, flops) + launch
+}

@@ -1,0 +1,76 @@
+package hw
+
+import "testing"
+
+func TestPresetsValidate(t *testing.T) {
+	for name, g := range Presets() {
+		if err := g.Validate(); err != nil {
+			t.Errorf("preset %s: %v", name, err)
+		}
+	}
+}
+
+func TestUsableBytesBelowCapacity(t *testing.T) {
+	for name, g := range Presets() {
+		if u := g.UsableBytes(); u <= 0 || u >= g.MemoryBytes {
+			t.Errorf("%s: usable bytes %d out of (0, %d)", name, u, g.MemoryBytes)
+		}
+	}
+}
+
+func TestEffectiveFLOPsFP8Path(t *testing.T) {
+	h := H100PCIe()
+	bf16 := h.EffectiveFLOPs(2)
+	fp8 := h.EffectiveFLOPs(1)
+	if fp8 <= bf16 {
+		t.Fatalf("H100 fp8 FLOPs (%g) should exceed bf16 (%g)", fp8, bf16)
+	}
+	a := A100()
+	if a.EffectiveFLOPs(1) != a.EffectiveFLOPs(2) {
+		t.Fatal("A100 has no fp8 units; fp8 weights should run at bf16 speed")
+	}
+}
+
+func TestNVLinkFasterThanPCIe(t *testing.T) {
+	if H100NVLink().PeerBWBytes <= H100PCIe().PeerBWBytes {
+		t.Fatal("NVLink peer bandwidth must exceed PCIe")
+	}
+	if H100NVLink().Link != NVLink || H100PCIe().Link != PCIe {
+		t.Fatal("link kinds mislabeled")
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*GPU)
+	}{
+		{"zero memory", func(g *GPU) { g.MemoryBytes = 0 }},
+		{"util > 1", func(g *GPU) { g.MemoryUtil = 1.5 }},
+		{"zero flops", func(g *GPU) { g.BF16TFLOPs = 0 }},
+		{"zero mfu", func(g *GPU) { g.MFU = 0 }},
+		{"zero membw", func(g *GPU) { g.MemBWBytes = 0 }},
+		{"zero peer bw", func(g *GPU) { g.PeerBWBytes = 0 }},
+		{"zero host bw", func(g *GPU) { g.HostBWBytes = 0 }},
+	}
+	for _, tc := range cases {
+		g := L4()
+		tc.mutate(g)
+		if err := g.Validate(); err == nil {
+			t.Errorf("%s: accepted invalid spec", tc.name)
+		}
+	}
+}
+
+func TestMemoryOrdering(t *testing.T) {
+	// L4 < A100 < H100 capacity, matching Table 3.
+	if !(L4().MemoryBytes < A100().MemoryBytes && A100().MemoryBytes < H100PCIe().MemoryBytes) {
+		t.Fatal("GPU memory capacities out of order vs Table 3")
+	}
+}
+
+func TestInterconnectString(t *testing.T) {
+	if PCIe.String() != "PCIe" || NVLink.String() != "NVLink" {
+		t.Fatal("Interconnect.String mismatch")
+	}
+}

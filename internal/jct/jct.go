@@ -1,0 +1,133 @@
+// Package jct implements job-completion-time estimation for prefill-only
+// requests (paper §6.3). Because a prefill-only request's output length is
+// exactly one token, its JCT is a deterministic function of its input
+// length and of how many of its tokens hit the prefix cache.
+//
+// Two estimators are provided, matching the paper:
+//
+//   - Linear: offline profiling of jct(nInput, nCached) over a grid at
+//     1000-token granularity, fit with linear regression.
+//   - Proxy: the cache-miss-token count (nInput − nCached) scaled to
+//     seconds, which the paper measures to correlate with true JCT at
+//     Pearson 0.987 and adopts as the default.
+package jct
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// TimeFunc measures (or models) the execution time of a request with
+// nInput tokens of which nCached hit the prefix cache.
+type TimeFunc func(nInput, nCached int) (float64, error)
+
+// Estimator predicts the JCT of a request.
+type Estimator interface {
+	// Estimate returns the predicted execution time in seconds.
+	Estimate(nInput, nCached int) float64
+	// Name identifies the estimator in logs and experiment output.
+	Name() string
+}
+
+// ProfileGranularity is the paper's profiling grid step (§6.3).
+const ProfileGranularity = 1000
+
+// Linear is a least-squares fit jct = Intercept + CoefInput·nInput +
+// CoefCached·nCached.
+type Linear struct {
+	Intercept  float64
+	CoefInput  float64
+	CoefCached float64
+}
+
+// Name implements Estimator.
+func (l *Linear) Name() string { return "linear-regression" }
+
+// Estimate implements Estimator. Estimates are clamped at zero: a request
+// can never have negative JCT.
+func (l *Linear) Estimate(nInput, nCached int) float64 {
+	v := l.Intercept + l.CoefInput*float64(nInput) + l.CoefCached*float64(nCached)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Profile runs the offline profiling phase: it evaluates measure over all
+// (nInput, nCached) pairs with nCached <= nInput on a grid of the given
+// granularity up to maxLen, and fits a Linear estimator.
+func Profile(measure TimeFunc, maxLen, granularity int) (*Linear, error) {
+	if maxLen < granularity {
+		return nil, fmt.Errorf("jct: maxLen %d below granularity %d", maxLen, granularity)
+	}
+	if granularity <= 0 {
+		return nil, fmt.Errorf("jct: granularity must be positive, got %d", granularity)
+	}
+	var feats [][]float64
+	var ys []float64
+	for n := granularity; n <= maxLen; n += granularity {
+		for c := 0; c <= n; c += granularity {
+			y, err := measure(n, c)
+			if err != nil {
+				return nil, fmt.Errorf("jct: profiling (%d,%d): %w", n, c, err)
+			}
+			feats = append(feats, []float64{float64(n), float64(c)})
+			ys = append(ys, y)
+		}
+	}
+	intercept, coefs, err := metrics.LinearFit(feats, ys)
+	if err != nil {
+		return nil, fmt.Errorf("jct: fitting profile: %w", err)
+	}
+	return &Linear{Intercept: intercept, CoefInput: coefs[0], CoefCached: coefs[1]}, nil
+}
+
+// Proxy estimates JCT as SecondsPerMissToken · (nInput − nCached): the
+// cache-miss-token proxy the paper adopts by default.
+type Proxy struct {
+	SecondsPerMissToken float64
+}
+
+// Name implements Estimator.
+func (p *Proxy) Name() string { return "cache-miss-proxy" }
+
+// Estimate implements Estimator.
+func (p *Proxy) Estimate(nInput, nCached int) float64 {
+	miss := nInput - nCached
+	if miss < 0 {
+		miss = 0
+	}
+	return p.SecondsPerMissToken * float64(miss)
+}
+
+// CalibrateProxy derives the proxy's per-miss-token cost from a single
+// measurement at maxLen cold tokens.
+func CalibrateProxy(measure TimeFunc, maxLen int) (*Proxy, error) {
+	if maxLen <= 0 {
+		return nil, fmt.Errorf("jct: maxLen must be positive, got %d", maxLen)
+	}
+	y, err := measure(maxLen, 0)
+	if err != nil {
+		return nil, fmt.Errorf("jct: calibrating proxy at %d: %w", maxLen, err)
+	}
+	return &Proxy{SecondsPerMissToken: y / float64(maxLen)}, nil
+}
+
+// ProxyCorrelation computes the Pearson correlation between measured JCT
+// and the cache-miss-token count over the profiling grid — the paper's
+// 0.987 validation (§6.3).
+func ProxyCorrelation(measure TimeFunc, maxLen, granularity int) (float64, error) {
+	var miss, ys []float64
+	for n := granularity; n <= maxLen; n += granularity {
+		for c := 0; c <= n; c += granularity {
+			y, err := measure(n, c)
+			if err != nil {
+				return 0, err
+			}
+			miss = append(miss, float64(n-c))
+			ys = append(ys, y)
+		}
+	}
+	return metrics.Pearson(miss, ys)
+}

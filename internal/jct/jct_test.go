@@ -1,0 +1,120 @@
+package jct
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hw"
+	"repro/internal/model"
+)
+
+// modelTime builds a TimeFunc backed by the graph executor's hybrid-mode
+// estimate, i.e. what PrefillOnly's profile run measures.
+func modelTime(e *graph.Executor) TimeFunc {
+	return func(nInput, nCached int) (float64, error) {
+		return e.EstimateSeconds(graph.PassSpec{Total: nInput, Cached: nCached}, graph.HybridOptions(512))
+	}
+}
+
+func TestProfileFitsAccurately(t *testing.T) {
+	e := graph.New(model.Llama31_8B(), hw.L4())
+	est, err := Profile(modelTime(e), 20000, ProfileGranularity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predictions within 15% on off-grid points in the length regime the
+	// workloads live in (attention is quadratic, so the linear fit is
+	// approximate at the extremes — same as the paper's).
+	for _, tc := range []struct{ n, c int }{{11000, 0}, {7777, 3000}, {19000, 12000}} {
+		truth, _ := modelTime(e)(tc.n, tc.c)
+		got := est.Estimate(tc.n, tc.c)
+		if diff := math.Abs(got-truth) / truth; diff > 0.15 {
+			t.Errorf("estimate(%d,%d) = %.4f vs truth %.4f (%.0f%% off)",
+				tc.n, tc.c, got, truth, diff*100)
+		}
+	}
+	// Ranking must be preserved: more miss tokens → larger estimate.
+	prev := -1.0
+	for n := 2000; n <= 20000; n += 2000 {
+		v := est.Estimate(n, 0)
+		if v <= prev {
+			t.Fatalf("estimates not increasing at n=%d", n)
+		}
+		prev = v
+	}
+	if est.CoefInput <= 0 {
+		t.Errorf("CoefInput = %v, want positive", est.CoefInput)
+	}
+	if est.CoefCached >= 0 {
+		t.Errorf("CoefCached = %v, want negative (cache hits reduce JCT)", est.CoefCached)
+	}
+}
+
+func TestEstimateClampedAtZero(t *testing.T) {
+	l := &Linear{Intercept: -5}
+	if got := l.Estimate(0, 0); got != 0 {
+		t.Fatalf("negative estimate not clamped: %v", got)
+	}
+}
+
+// The paper measures Pearson correlation 0.987 between JCT and cache-miss
+// tokens on Qwen-32B/A100; our model should land in the same regime.
+func TestProxyCorrelationHigh(t *testing.T) {
+	e := graph.New(model.Qwen32BFP8(), hw.A100())
+	r, err := ProxyCorrelation(modelTime(e), 40000, ProfileGranularity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.95 || r > 1.0 {
+		t.Fatalf("proxy correlation = %.4f, want ~0.987", r)
+	}
+}
+
+func TestCalibrateProxy(t *testing.T) {
+	e := graph.New(model.Llama31_8B(), hw.L4())
+	p, err := CalibrateProxy(modelTime(e), 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SecondsPerMissToken <= 0 {
+		t.Fatal("non-positive per-token cost")
+	}
+	if p.Estimate(1000, 1000) != 0 {
+		t.Fatal("fully-cached request should estimate 0")
+	}
+	if p.Estimate(1000, 2000) != 0 {
+		t.Fatal("over-cached request should clamp to 0")
+	}
+	if p.Estimate(2000, 0) <= p.Estimate(1000, 0) {
+		t.Fatal("estimate not increasing in miss tokens")
+	}
+}
+
+func TestProfileErrors(t *testing.T) {
+	ok := func(n, c int) (float64, error) { return 1, nil }
+	if _, err := Profile(ok, 500, 1000); err == nil {
+		t.Error("maxLen < granularity accepted")
+	}
+	if _, err := Profile(ok, 1000, 0); err == nil {
+		t.Error("zero granularity accepted")
+	}
+	boom := errors.New("boom")
+	bad := func(n, c int) (float64, error) { return 0, boom }
+	if _, err := Profile(bad, 5000, 1000); !errors.Is(err, boom) {
+		t.Errorf("measurement error not propagated: %v", err)
+	}
+	if _, err := CalibrateProxy(bad, 1000); !errors.Is(err, boom) {
+		t.Errorf("calibration error not propagated: %v", err)
+	}
+	if _, err := CalibrateProxy(ok, 0); err == nil {
+		t.Error("zero maxLen accepted")
+	}
+}
+
+func TestEstimatorNames(t *testing.T) {
+	if (&Linear{}).Name() == "" || (&Proxy{}).Name() == "" {
+		t.Fatal("empty estimator names")
+	}
+}

@@ -1,0 +1,84 @@
+package kvcache
+
+// Host-memory offload tier (paper §9, "Offloading the KV caches to CPU"):
+// instead of discarding evicted prefix blocks, the manager can demote them
+// to a host-memory tier. A later request whose prefix extends past its
+// GPU-cache hit can restore the following blocks over the host link
+// instead of recomputing them; the engine decides whether restoring beats
+// recomputing (LMCache-style semantics).
+//
+// The tier is content-addressed like the GPU tier but evicts FIFO: host
+// memory is large and cheap, so recency tracking buys little there.
+
+type hostTier struct {
+	capacity int64
+	used     int64
+	perBlock int64
+	blocks   map[uint64]struct{}
+	queue    []uint64 // FIFO eviction order
+}
+
+func newHostTier(capacity, perBlock int64) *hostTier {
+	return &hostTier{
+		capacity: capacity,
+		perBlock: perBlock,
+		blocks:   make(map[uint64]struct{}),
+	}
+}
+
+func (h *hostTier) add(hash uint64) {
+	if _, ok := h.blocks[hash]; ok {
+		return
+	}
+	for h.used+h.perBlock > h.capacity && len(h.queue) > 0 {
+		old := h.queue[0]
+		h.queue = h.queue[1:]
+		if _, ok := h.blocks[old]; ok {
+			delete(h.blocks, old)
+			h.used -= h.perBlock
+		}
+	}
+	if h.used+h.perBlock > h.capacity {
+		return
+	}
+	h.blocks[hash] = struct{}{}
+	h.queue = append(h.queue, hash)
+	h.used += h.perBlock
+}
+
+func (h *hostTier) remove(hash uint64) {
+	if _, ok := h.blocks[hash]; ok {
+		delete(h.blocks, hash)
+		h.used -= h.perBlock
+		// The stale queue entry is skipped lazily during eviction.
+	}
+}
+
+func (h *hostTier) contains(hash uint64) bool {
+	_, ok := h.blocks[hash]
+	return ok
+}
+
+// HostHitH returns how many tokens, contiguously following the first
+// skipBlocks blocks of the chain, are available in the host tier.
+func (m *Manager) HostHitH(hashes []uint64, skipBlocks int) int {
+	if m.host == nil || skipBlocks >= len(hashes) {
+		return 0
+	}
+	hit := 0
+	for _, hash := range hashes[skipBlocks:] {
+		if !m.host.contains(hash) {
+			break
+		}
+		hit += m.blockTokens
+	}
+	return hit
+}
+
+// HostUsedBytes returns the bytes held by the host tier (0 when disabled).
+func (m *Manager) HostUsedBytes() int64 {
+	if m.host == nil {
+		return 0
+	}
+	return m.host.used
+}

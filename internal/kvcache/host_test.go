@@ -1,0 +1,100 @@
+package kvcache
+
+import "testing"
+
+func newOffloadMgr(t *testing.T, gpuBlocks, hostBlocks int) *Manager {
+	t.Helper()
+	m, err := New(Config{
+		BlockTokens:       16,
+		BytesPerToken:     1024,
+		CapacityBytes:     int64(gpuBlocks) * 16 * 1024,
+		HostCapacityBytes: int64(hostBlocks) * 16 * 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestEvictionOffloadsToHost(t *testing.T) {
+	m := newOffloadMgr(t, 4, 16)
+	a := seq(1, 64)
+	b := seq(2, 64)
+	m.Insert(a, 64, 1)
+	m.Insert(b, 64, 2) // evicts a's 4 blocks → host tier
+	if got := m.Peek(a); got != 0 {
+		t.Fatalf("a still in GPU tier (%d tokens)", got)
+	}
+	hashes := BlockHashes(a, 16)
+	if got := m.HostHitH(hashes, 0); got != 64 {
+		t.Fatalf("host hit = %d tokens, want 64", got)
+	}
+	if m.Stats().OffloadedBlocks != 4 {
+		t.Fatalf("offloaded = %d, want 4", m.Stats().OffloadedBlocks)
+	}
+	if m.HostUsedBytes() != 4*16*1024 {
+		t.Fatalf("host used = %d", m.HostUsedBytes())
+	}
+}
+
+func TestHostHitSkipsGPUPrefix(t *testing.T) {
+	m := newOffloadMgr(t, 4, 16)
+	toks := seq(1, 128) // 8 blocks; only 4 fit on GPU
+	m.Insert(toks, 128, 1)
+	// Suffix discarding kept blocks 1-4 on GPU; nothing offloaded yet.
+	hashes := BlockHashes(toks, 16)
+	gpuHit := m.PeekH(hashes)
+	if gpuHit != 64 {
+		t.Fatalf("gpu hit = %d, want 64", gpuHit)
+	}
+	if got := m.HostHitH(hashes, gpuHit/16); got != 0 {
+		t.Fatalf("host hit = %d, want 0 (suffix was discarded, not offloaded)", got)
+	}
+	// Now evict the GPU prefix by inserting another request: the prefix
+	// moves to host, and HostHitH counts from block 0.
+	m.Insert(seq(2, 64), 64, 2)
+	if got := m.HostHitH(hashes, 0); got != 64 {
+		t.Fatalf("host hit after eviction = %d, want 64", got)
+	}
+}
+
+func TestHostTierFIFOEviction(t *testing.T) {
+	m := newOffloadMgr(t, 2, 2)
+	m.Insert(seq(1, 32), 32, 1) // 2 blocks on GPU
+	m.Insert(seq(2, 32), 32, 2) // evicts seq1 → host (2 blocks, host full)
+	m.Insert(seq(3, 32), 32, 3) // evicts seq2 → host, pushing seq1 out (FIFO)
+	h1 := BlockHashes(seq(1, 32), 16)
+	h2 := BlockHashes(seq(2, 32), 16)
+	if got := m.HostHitH(h1, 0); got != 0 {
+		t.Fatalf("oldest host blocks not FIFO-evicted (hit %d)", got)
+	}
+	if got := m.HostHitH(h2, 0); got != 32 {
+		t.Fatalf("newest host blocks missing (hit %d)", got)
+	}
+}
+
+func TestGPUInsertRemovesHostCopy(t *testing.T) {
+	m := newOffloadMgr(t, 4, 16)
+	a := seq(1, 64)
+	m.Insert(a, 64, 1)
+	m.Insert(seq(2, 64), 64, 2) // a → host
+	m.Insert(a, 64, 3)          // a promoted back to GPU
+	if got := m.Peek(a); got != 64 {
+		t.Fatalf("a not back on GPU (%d)", got)
+	}
+	if got := m.HostHitH(BlockHashes(a, 16), 0); got != 0 {
+		t.Fatalf("stale host copy remains (%d tokens)", got)
+	}
+}
+
+func TestHostDisabledByDefault(t *testing.T) {
+	m := newMgr(t, 2)
+	m.Insert(seq(1, 32), 32, 1)
+	m.Insert(seq(2, 32), 32, 2)
+	if got := m.HostHitH(BlockHashes(seq(1, 32), 16), 0); got != 0 {
+		t.Fatalf("host tier active without configuration (%d)", got)
+	}
+	if m.HostUsedBytes() != 0 || m.Stats().OffloadedBlocks != 0 {
+		t.Fatal("host accounting nonzero when disabled")
+	}
+}

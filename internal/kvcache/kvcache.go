@@ -1,0 +1,436 @@
+// Package kvcache implements a paged, content-addressed KV cache with
+// prefix caching, LRU eviction and PrefillOnly's suffix discarding.
+//
+// Tokens are grouped into fixed-size blocks (vLLM-style paging). A block's
+// identity is the hash of its tokens chained with its parent block's hash,
+// so two requests that share a token prefix share cache blocks. Capacity is
+// tracked in bytes of full-depth KV cache; eviction is LRU over unpinned
+// blocks, and a block can only be evicted after every block chained below
+// it (no dangling prefixes).
+package kvcache
+
+import "fmt"
+
+// Stats counts cache activity since construction.
+type Stats struct {
+	// LookupTokens is the total tokens presented to Lookup.
+	LookupTokens int64
+	// HitTokens is the tokens Lookup found cached.
+	HitTokens int64
+	// InsertedBlocks counts blocks newly inserted.
+	InsertedBlocks int64
+	// EvictedBlocks counts blocks evicted to make space.
+	EvictedBlocks int64
+	// OffloadedBlocks counts evicted blocks demoted to the host tier.
+	OffloadedBlocks int64
+	// RejectedBlocks counts insertions dropped because space could not
+	// be reclaimed (everything else was pinned or hotter).
+	RejectedBlocks int64
+}
+
+// HitRate returns the fraction of looked-up tokens served from cache.
+func (s Stats) HitRate() float64 {
+	if s.LookupTokens == 0 {
+		return 0
+	}
+	return float64(s.HitTokens) / float64(s.LookupTokens)
+}
+
+type block struct {
+	hash     uint64
+	parent   uint64
+	depth    int // 1-based chain position
+	children int // blocks that chain onto this one
+	pins     int
+	lastUsed float64
+
+	// heap index for the LRU heap; -1 when not evictable.
+	heapIdx int
+}
+
+// Manager is a single simulated device's (or engine's) prefix cache.
+// It is not goroutine-safe; engines are single-threaded event handlers.
+type Manager struct {
+	blockTokens   int
+	bytesPerBlock int64
+	capacity      int64
+	used          int64
+	reserved      int64
+
+	blocks map[uint64]*block
+	lru    lruHeap
+	host   *hostTier // nil when offloading is disabled
+	stats  Stats
+}
+
+// Config configures a Manager.
+type Config struct {
+	// BlockTokens is the tokens per cache block (vLLM default 16).
+	BlockTokens int
+	// BytesPerToken is the full-depth KV cache size of one token.
+	BytesPerToken int64
+	// CapacityBytes is the cache pool size.
+	CapacityBytes int64
+	// HostCapacityBytes enables the §9 CPU offload tier when positive:
+	// evicted blocks demote to host memory instead of being discarded,
+	// and engines may restore them over the host link.
+	HostCapacityBytes int64
+}
+
+// New constructs a Manager.
+func New(cfg Config) (*Manager, error) {
+	if cfg.BlockTokens <= 0 {
+		return nil, fmt.Errorf("kvcache: BlockTokens must be positive, got %d", cfg.BlockTokens)
+	}
+	if cfg.BytesPerToken <= 0 {
+		return nil, fmt.Errorf("kvcache: BytesPerToken must be positive, got %d", cfg.BytesPerToken)
+	}
+	if cfg.CapacityBytes < 0 {
+		return nil, fmt.Errorf("kvcache: CapacityBytes must be non-negative, got %d", cfg.CapacityBytes)
+	}
+	m := &Manager{
+		blockTokens:   cfg.BlockTokens,
+		bytesPerBlock: cfg.BytesPerToken * int64(cfg.BlockTokens),
+		capacity:      cfg.CapacityBytes,
+		blocks:        make(map[uint64]*block),
+	}
+	if cfg.HostCapacityBytes > 0 {
+		m.host = newHostTier(cfg.HostCapacityBytes, m.bytesPerBlock)
+	}
+	return m, nil
+}
+
+// BlockTokens returns the tokens per cache block.
+func (m *Manager) BlockTokens() int { return m.blockTokens }
+
+// Stats returns a copy of the activity counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// CapacityBytes returns the pool size.
+func (m *Manager) CapacityBytes() int64 { return m.capacity }
+
+// UsedBytes returns the bytes currently held by cached blocks.
+func (m *Manager) UsedBytes() int64 { return m.used }
+
+// CapacityTokens returns the whole blocks the pool can hold, in tokens.
+func (m *Manager) CapacityTokens() int {
+	if m.bytesPerBlock == 0 {
+		return 0
+	}
+	return int(m.capacity/m.bytesPerBlock) * m.blockTokens
+}
+
+// BlockHashes maps a token sequence to its chain of content-addressed
+// block hashes: hash(block i) covers block i's tokens chained with block
+// i-1's hash. Only full blocks participate in prefix caching (partial tail
+// blocks are never shared), matching vLLM. The hash is deterministic, so
+// chains computed once per request are valid for every Manager with the
+// same block size.
+func BlockHashes(tokens []uint64, blockTokens int) []uint64 {
+	if blockTokens <= 0 {
+		panic("kvcache: blockTokens must be positive")
+	}
+	n := len(tokens) / blockTokens
+	hashes := make([]uint64, n)
+	var parent uint64
+	for i := 0; i < n; i++ {
+		h := parent ^ 0xcbf29ce484222325 // FNV offset basis
+		for _, tok := range tokens[i*blockTokens : (i+1)*blockTokens] {
+			h = mix(h, tok)
+		}
+		// Reserve 0 as "no parent".
+		if h == 0 {
+			h = 1
+		}
+		parent = h
+		hashes[i] = h
+	}
+	return hashes
+}
+
+// mix folds one token into a chained hash (FNV-1a over the 8 bytes,
+// followed by an avalanche step).
+func mix(h, tok uint64) uint64 {
+	const prime = 0x100000001b3
+	for i := 0; i < 8; i++ {
+		h ^= tok >> (8 * i) & 0xff
+		h *= prime
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+func (m *Manager) blockHashes(tokens []uint64) []uint64 {
+	return BlockHashes(tokens, m.blockTokens)
+}
+
+// Lookup returns the number of leading tokens of the sequence that are
+// cached (whole blocks only) and refreshes their LRU timestamps.
+func (m *Manager) Lookup(tokens []uint64, now float64) int {
+	return m.LookupH(m.blockHashes(tokens), now)
+}
+
+// LookupH is Lookup over a precomputed hash chain (see BlockHashes).
+func (m *Manager) LookupH(hashes []uint64, now float64) int {
+	m.stats.LookupTokens += int64(len(hashes) * m.blockTokens)
+	hit := 0
+	for _, hash := range hashes {
+		b, ok := m.blocks[hash]
+		if !ok {
+			break
+		}
+		b.lastUsed = now
+		if b.heapIdx >= 0 {
+			m.lru.fix(b)
+		}
+		hit += m.blockTokens
+	}
+	m.stats.HitTokens += int64(hit)
+	return hit
+}
+
+// Peek returns the number of leading tokens of the sequence that are
+// cached without refreshing LRU state or stats. Schedulers use it during
+// continuous JCT calibration sweeps, which must not distort eviction order.
+func (m *Manager) Peek(tokens []uint64) int {
+	return m.PeekH(m.blockHashes(tokens))
+}
+
+// PeekH is Peek over a precomputed hash chain.
+func (m *Manager) PeekH(hashes []uint64) int {
+	hit := 0
+	for _, hash := range hashes {
+		if _, ok := m.blocks[hash]; !ok {
+			break
+		}
+		hit += m.blockTokens
+	}
+	return hit
+}
+
+// Reserve claims bytes of pool space for a request's execution-time KV
+// residency (conventional engines must hold the full fresh KV of a running
+// request in the pool). Colder unpinned blocks are evicted to make room.
+// It returns the shortfall that could not be satisfied (which the engine
+// must spill over the host link) and a release function.
+func (m *Manager) Reserve(bytes int64) (shortfall int64, release func()) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	m.reclaim(bytes)
+	free := m.capacity - m.used - m.reserved
+	if free < 0 {
+		free = 0
+	}
+	granted := bytes
+	if granted > free {
+		granted = free
+	}
+	m.reserved += granted
+	released := false
+	return bytes - granted, func() {
+		if released {
+			return
+		}
+		released = true
+		m.reserved -= granted
+	}
+}
+
+// ReservedBytes returns the pool bytes currently claimed by running
+// requests.
+func (m *Manager) ReservedBytes() int64 { return m.reserved }
+
+// Pin marks the cached prefix of the sequence as in-use (unevictable) and
+// returns the pinned token count along with a release function. Engines pin
+// a request's hit prefix for the duration of its execution.
+func (m *Manager) Pin(tokens []uint64, now float64) (int, func()) {
+	return m.PinH(m.blockHashes(tokens), now)
+}
+
+// PinH is Pin over a precomputed hash chain. Like Lookup, it counts
+// toward the hit-rate statistics (engines pin instead of looking up).
+func (m *Manager) PinH(hashes []uint64, now float64) (int, func()) {
+	m.stats.LookupTokens += int64(len(hashes) * m.blockTokens)
+	var pinned []*block
+	hit := 0
+	for _, hash := range hashes {
+		b, ok := m.blocks[hash]
+		if !ok {
+			break
+		}
+		b.pins++
+		if b.heapIdx >= 0 {
+			m.lru.remove(b)
+		}
+		b.lastUsed = now
+		pinned = append(pinned, b)
+		hit += m.blockTokens
+	}
+	m.stats.HitTokens += int64(hit)
+	released := false
+	return hit, func() {
+		if released {
+			return
+		}
+		released = true
+		for _, b := range pinned {
+			b.pins--
+			m.maybeEvictable(b)
+		}
+	}
+}
+
+// maybeEvictable inserts a block into the LRU heap when it has become
+// evictable (no pins and no children).
+func (m *Manager) maybeEvictable(b *block) {
+	if b.pins == 0 && b.children == 0 && b.heapIdx < 0 {
+		m.lru.push(b)
+	}
+}
+
+// Insert caches the KV blocks of tokens[:limit], evicting colder unpinned
+// blocks as needed, and returns the number of tokens actually cached.
+// Blocks that are already present are refreshed. Insertion stops at the
+// first block for which space cannot be reclaimed — this is suffix
+// discarding: the prefix stays, the suffix is dropped.
+//
+// The chain being inserted is pinned while the walk is in progress so that
+// reclaim can never evict a block that a subsequent block of the same
+// request is about to chain onto.
+func (m *Manager) Insert(tokens []uint64, limit int, now float64) int {
+	if limit > len(tokens) {
+		limit = len(tokens)
+	}
+	if limit < 0 {
+		limit = 0
+	}
+	return m.InsertH(m.blockHashes(tokens[:limit]), now)
+}
+
+// InsertH is Insert over a precomputed hash chain (all given blocks are
+// candidates; trim the chain to express a limit).
+func (m *Manager) InsertH(hashes []uint64, now float64) int {
+	cached := 0
+	var parent *block
+	var path []*block
+	defer func() {
+		for _, b := range path {
+			b.pins--
+			m.maybeEvictable(b)
+		}
+	}()
+	for _, hash := range hashes {
+		if b, ok := m.blocks[hash]; ok {
+			b.lastUsed = now
+			b.pins++
+			if b.heapIdx >= 0 {
+				m.lru.remove(b)
+			}
+			path = append(path, b)
+			cached += m.blockTokens
+			parent = b
+			continue
+		}
+		if !m.reclaim(m.bytesPerBlock) {
+			m.stats.RejectedBlocks++
+			break
+		}
+		if m.host != nil {
+			// The block now lives in the GPU tier; drop the host copy.
+			m.host.remove(hash)
+		}
+		b := &block{hash: hash, depth: 1, lastUsed: now, heapIdx: -1, pins: 1}
+		if parent != nil {
+			b.parent = parent.hash
+			b.depth = parent.depth + 1
+			parent.children++
+		}
+		m.blocks[hash] = b
+		m.used += m.bytesPerBlock
+		path = append(path, b)
+		m.stats.InsertedBlocks++
+		cached += m.blockTokens
+		parent = b
+	}
+	return cached
+}
+
+// reclaim evicts LRU blocks until free bytes >= need. Returns false when
+// not enough unpinned leaf blocks exist.
+func (m *Manager) reclaim(need int64) bool {
+	for m.capacity-m.used-m.reserved < need {
+		b := m.lru.popOldest()
+		if b == nil {
+			return false
+		}
+		m.evict(b)
+	}
+	return true
+}
+
+func (m *Manager) evict(b *block) {
+	delete(m.blocks, b.hash)
+	m.used -= m.bytesPerBlock
+	m.stats.EvictedBlocks++
+	if m.host != nil {
+		m.host.add(b.hash)
+		m.stats.OffloadedBlocks++
+	}
+	if b.parent != 0 {
+		if p, ok := m.blocks[b.parent]; ok {
+			p.children--
+			m.maybeEvictable(p)
+		}
+	}
+}
+
+// EvictAll drops every unpinned block (used by tests and by engines on
+// reconfiguration).
+func (m *Manager) EvictAll() {
+	for {
+		b := m.lru.popOldest()
+		if b == nil {
+			return
+		}
+		m.evict(b)
+	}
+}
+
+// Len returns the number of cached blocks.
+func (m *Manager) Len() int { return len(m.blocks) }
+
+// CheckInvariants validates internal consistency; tests call it after
+// operation sequences.
+func (m *Manager) CheckInvariants() error {
+	var used int64
+	children := make(map[uint64]int)
+	for _, b := range m.blocks {
+		used += m.bytesPerBlock
+		if b.parent != 0 {
+			if _, ok := m.blocks[b.parent]; !ok {
+				return fmt.Errorf("kvcache: block %x has dangling parent %x", b.hash, b.parent)
+			}
+			children[b.parent]++
+		}
+	}
+	if used != m.used {
+		return fmt.Errorf("kvcache: used=%d but blocks sum to %d", m.used, used)
+	}
+	if m.used > m.capacity {
+		return fmt.Errorf("kvcache: used %d exceeds capacity %d", m.used, m.capacity)
+	}
+	for _, b := range m.blocks {
+		if b.children != children[b.hash] {
+			return fmt.Errorf("kvcache: block %x children=%d, actual %d", b.hash, b.children, children[b.hash])
+		}
+		evictable := b.pins == 0 && b.children == 0
+		if evictable != (b.heapIdx >= 0) {
+			return fmt.Errorf("kvcache: block %x evictable=%v but heapIdx=%d (pins=%d children=%d)",
+				b.hash, evictable, b.heapIdx, b.pins, b.children)
+		}
+	}
+	return nil
+}

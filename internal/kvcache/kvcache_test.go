@@ -1,0 +1,311 @@
+package kvcache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newMgr(t *testing.T, capBlocks int) *Manager {
+	t.Helper()
+	m, err := New(Config{BlockTokens: 16, BytesPerToken: 1024, CapacityBytes: int64(capBlocks) * 16 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// seq produces a deterministic token sequence for a (stream, length) pair.
+func seq(stream uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = stream<<32 | uint64(i)
+	}
+	return out
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	m := newMgr(t, 100)
+	toks := seq(1, 64)
+	if got := m.Lookup(toks, 0); got != 0 {
+		t.Fatalf("cold lookup = %d, want 0", got)
+	}
+	if ins := m.Insert(toks, len(toks), 1); ins != 64 {
+		t.Fatalf("inserted %d tokens, want 64", ins)
+	}
+	if got := m.Lookup(toks, 2); got != 64 {
+		t.Fatalf("warm lookup = %d, want 64", got)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartialBlocksNotShared(t *testing.T) {
+	m := newMgr(t, 100)
+	toks := seq(1, 70) // 4 full blocks + 6 tokens
+	m.Insert(toks, len(toks), 0)
+	if got := m.Lookup(toks, 1); got != 64 {
+		t.Fatalf("lookup = %d, want 64 (whole blocks only)", got)
+	}
+}
+
+func TestPrefixSharingAcrossRequests(t *testing.T) {
+	m := newMgr(t, 1000)
+	prefix := seq(7, 160)
+	a := append(append([]uint64{}, prefix...), seq(8, 32)...)
+	b := append(append([]uint64{}, prefix...), seq(9, 32)...)
+	m.Insert(a, len(a), 0)
+	if got := m.Lookup(b, 1); got != 160 {
+		t.Fatalf("request b prefix hit = %d, want 160", got)
+	}
+	// Diverging suffixes don't alias.
+	if got := m.Lookup(append(append([]uint64{}, prefix...), seq(10, 32)...), 2); got != 160 {
+		t.Fatalf("third request prefix hit = %d, want 160", got)
+	}
+}
+
+func TestDivergentFirstBlockNoHit(t *testing.T) {
+	m := newMgr(t, 100)
+	m.Insert(seq(1, 64), 64, 0)
+	if got := m.Lookup(seq(2, 64), 1); got != 0 {
+		t.Fatalf("unrelated sequence hit = %d, want 0", got)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	m := newMgr(t, 8) // room for 8 blocks = 128 tokens
+	a := seq(1, 64)
+	b := seq(2, 64)
+	c := seq(3, 64)
+	m.Insert(a, 64, 1)
+	m.Insert(b, 64, 2)
+	// Touch a so b becomes coldest.
+	m.Lookup(a, 3)
+	m.Insert(c, 64, 4) // must evict b's blocks
+	if got := m.Lookup(b, 5); got != 0 {
+		t.Fatalf("b still cached (%d tokens) after LRU pressure", got)
+	}
+	if got := m.Lookup(a, 6); got != 64 {
+		t.Fatalf("a hit = %d, want 64 (recently touched)", got)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuffixDiscarding(t *testing.T) {
+	// Capacity of 4 blocks; inserting a 10-block request keeps only the
+	// first 4 blocks (the prefix) and discards the suffix.
+	m := newMgr(t, 4)
+	toks := seq(1, 160)
+	ins := m.Insert(toks, len(toks), 0)
+	if ins != 64 {
+		t.Fatalf("inserted %d tokens, want 64 (4 blocks)", ins)
+	}
+	if got := m.Lookup(toks, 1); got != 64 {
+		t.Fatalf("prefix hit = %d, want 64", got)
+	}
+	if m.Stats().RejectedBlocks == 0 {
+		t.Fatal("expected rejected (discarded) suffix blocks")
+	}
+}
+
+func TestPinPreventsEviction(t *testing.T) {
+	m := newMgr(t, 4)
+	a := seq(1, 64)
+	m.Insert(a, 64, 0)
+	pinned, release := m.Pin(a, 1)
+	if pinned != 64 {
+		t.Fatalf("pinned %d, want 64", pinned)
+	}
+	// Inserting b cannot evict pinned a: only 0 new blocks fit.
+	ins := m.Insert(seq(2, 64), 64, 2)
+	if ins != 0 {
+		t.Fatalf("inserted %d tokens while cache fully pinned, want 0", ins)
+	}
+	release()
+	release() // idempotent
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// After release, insertion evicts a.
+	if ins := m.Insert(seq(3, 64), 64, 3); ins != 64 {
+		t.Fatalf("post-release insert = %d, want 64", ins)
+	}
+}
+
+func TestParentOutlivesChild(t *testing.T) {
+	// Chain of 3 blocks, capacity 3. Inserting one new block must evict
+	// the deepest block of the chain first, never the root.
+	m := newMgr(t, 3)
+	a := seq(1, 48)
+	m.Insert(a, 48, 0)
+	m.Insert(seq(2, 16), 16, 1)
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Lookup(a, 2); got != 32 {
+		t.Fatalf("after evicting chain tail, prefix hit = %d, want 32", got)
+	}
+}
+
+func TestStatsHitRate(t *testing.T) {
+	m := newMgr(t, 100)
+	a := seq(1, 64)
+	m.Insert(a, 64, 0)
+	m.Lookup(a, 1)
+	s := m.Stats()
+	if s.HitRate() <= 0 || s.HitRate() > 1 {
+		t.Fatalf("hit rate = %v", s.HitRate())
+	}
+}
+
+func TestCapacityTokens(t *testing.T) {
+	m := newMgr(t, 10)
+	if got := m.CapacityTokens(); got != 160 {
+		t.Fatalf("capacity tokens = %d, want 160", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{BlockTokens: 0, BytesPerToken: 1, CapacityBytes: 1}); err == nil {
+		t.Error("accepted zero block tokens")
+	}
+	if _, err := New(Config{BlockTokens: 16, BytesPerToken: 0, CapacityBytes: 1}); err == nil {
+		t.Error("accepted zero bytes per token")
+	}
+	if _, err := New(Config{BlockTokens: 16, BytesPerToken: 1, CapacityBytes: -1}); err == nil {
+		t.Error("accepted negative capacity")
+	}
+}
+
+func TestZeroCapacityCachesNothing(t *testing.T) {
+	m, err := New(Config{BlockTokens: 16, BytesPerToken: 1024, CapacityBytes: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins := m.Insert(seq(1, 64), 64, 0); ins != 0 {
+		t.Fatalf("zero-capacity cache inserted %d tokens", ins)
+	}
+}
+
+func TestEvictAll(t *testing.T) {
+	m := newMgr(t, 100)
+	m.Insert(seq(1, 160), 160, 0)
+	m.EvictAll()
+	if m.Len() != 0 || m.UsedBytes() != 0 {
+		t.Fatalf("EvictAll left %d blocks, %d bytes", m.Len(), m.UsedBytes())
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeekDoesNotTouchLRU(t *testing.T) {
+	m := newMgr(t, 8)
+	a := seq(1, 64)
+	b := seq(2, 64)
+	m.Insert(a, 64, 1)
+	m.Insert(b, 64, 2)
+	// Peek a many times; it must stay coldest and get evicted first.
+	for i := 0; i < 10; i++ {
+		if got := m.Peek(a); got != 64 {
+			t.Fatalf("peek = %d, want 64", got)
+		}
+	}
+	m.Insert(seq(3, 64), 64, 3)
+	if got := m.Peek(a); got != 0 {
+		t.Fatalf("a survived eviction after peeks (hit %d); Peek touched LRU", got)
+	}
+	if got := m.Peek(b); got != 64 {
+		t.Fatalf("b evicted instead of a (hit %d)", got)
+	}
+}
+
+func TestReserveEvictsAndReportsShortfall(t *testing.T) {
+	m := newMgr(t, 8) // 8 blocks = 128 KiB
+	m.Insert(seq(1, 128), 128, 0)
+	if m.Len() != 8 {
+		t.Fatalf("setup: %d blocks cached", m.Len())
+	}
+	// Reserve half the pool: evicts 4 blocks, no shortfall.
+	short, rel := m.Reserve(4 * 16 * 1024)
+	if short != 0 {
+		t.Fatalf("shortfall = %d, want 0", short)
+	}
+	if m.Len() != 4 {
+		t.Fatalf("blocks after reserve = %d, want 4", m.Len())
+	}
+	// Reserve more than remains: full eviction plus shortfall.
+	short2, rel2 := m.Reserve(10 * 16 * 1024)
+	if short2 != 6*16*1024 {
+		t.Fatalf("shortfall = %d, want %d", short2, 6*16*1024)
+	}
+	if m.ReservedBytes() != m.CapacityBytes() {
+		t.Fatalf("reserved %d, want full capacity", m.ReservedBytes())
+	}
+	// While reserved, inserts are rejected.
+	if ins := m.Insert(seq(9, 64), 64, 5); ins != 0 {
+		t.Fatalf("insert during full reservation cached %d tokens", ins)
+	}
+	rel()
+	rel()
+	rel2()
+	if m.ReservedBytes() != 0 {
+		t.Fatalf("reserved %d after releases", m.ReservedBytes())
+	}
+	if ins := m.Insert(seq(9, 64), 64, 6); ins != 64 {
+		t.Fatalf("insert after release cached %d tokens, want 64", ins)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random interleavings of insert/lookup/pin/release never break
+// invariants, and used bytes never exceed capacity.
+func TestRandomOpsInvariants(t *testing.T) {
+	f := func(opsSeed int64) bool {
+		rng := rand.New(rand.NewSource(opsSeed))
+		m, err := New(Config{BlockTokens: 16, BytesPerToken: 64,
+			CapacityBytes: int64(rng.Intn(32)+1) * 16 * 64})
+		if err != nil {
+			return false
+		}
+		var releases []func()
+		now := 0.0
+		for i := 0; i < 200; i++ {
+			now += rng.Float64()
+			stream := uint64(rng.Intn(6))
+			n := rng.Intn(120) + 1
+			toks := seq(stream, n)
+			switch rng.Intn(4) {
+			case 0:
+				m.Insert(toks, n, now)
+			case 1:
+				m.Lookup(toks, now)
+			case 2:
+				_, rel := m.Pin(toks, now)
+				releases = append(releases, rel)
+			case 3:
+				if len(releases) > 0 {
+					k := rng.Intn(len(releases))
+					releases[k]()
+					releases = append(releases[:k], releases[k+1:]...)
+				}
+			}
+			if m.UsedBytes() > m.CapacityBytes() {
+				return false
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Logf("invariant violation: %v", err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+package memory
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocFreeAccounting(t *testing.T) {
+	m := New(0)
+	a, err := m.Alloc(100, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Alloc(50, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Live() != 150 {
+		t.Fatalf("live = %d, want 150", m.Live())
+	}
+	m.Free(a)
+	if m.Live() != 50 {
+		t.Fatalf("live after free = %d, want 50", m.Live())
+	}
+	if m.Peak() != 150 {
+		t.Fatalf("peak = %d, want 150", m.Peak())
+	}
+	m.Free(b)
+	if m.Live() != 0 || m.LiveAllocations() != 0 {
+		t.Fatalf("live = %d, allocations = %d; want 0, 0", m.Live(), m.LiveAllocations())
+	}
+}
+
+func TestOOMEnforcement(t *testing.T) {
+	m := New(100)
+	a, err := m.Alloc(80, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Alloc(30, "b"); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("expected ErrOutOfMemory, got %v", err)
+	}
+	m.Free(a)
+	if _, err := m.Alloc(30, "b"); err != nil {
+		t.Fatalf("alloc after free failed: %v", err)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	m := New(0)
+	a := m.MustAlloc(10, "x")
+	m.Free(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	m.Free(a)
+}
+
+func TestFreeNilNoop(t *testing.T) {
+	m := New(0)
+	m.Free(nil)
+	if m.Live() != 0 {
+		t.Fatal("Free(nil) changed accounting")
+	}
+}
+
+func TestNegativeAllocRejected(t *testing.T) {
+	m := New(0)
+	if _, err := m.Alloc(-5, "neg"); err == nil {
+		t.Fatal("negative allocation accepted")
+	}
+}
+
+func TestTraceRecordsEvents(t *testing.T) {
+	m := New(0)
+	m.StartTrace()
+	a := m.MustAlloc(10, "t1")
+	b := m.MustAlloc(20, "t2")
+	m.Free(a)
+	m.Free(b)
+	tr := m.StopTrace()
+	if len(tr) != 4 {
+		t.Fatalf("trace length = %d, want 4", len(tr))
+	}
+	if tr[1].Live != 30 || tr[3].Live != 0 {
+		t.Fatalf("trace live values wrong: %+v", tr)
+	}
+	tags := TraceTags(tr)
+	if len(tags) != 2 || tags[0] != "t1" || tags[1] != "t2" {
+		t.Fatalf("trace tags = %v", tags)
+	}
+	peaks := TraceSummary(tr)
+	if peaks["t1"] != 10 || peaks["t2"] != 20 {
+		t.Fatalf("trace summary = %v", peaks)
+	}
+}
+
+func TestTraceUsesClock(t *testing.T) {
+	m := New(0)
+	now := 1.5
+	m.SetClock(func() float64 { return now })
+	m.StartTrace()
+	a := m.MustAlloc(1, "x")
+	now = 2.5
+	m.Free(a)
+	tr := m.StopTrace()
+	if tr[0].Time != 1.5 || tr[1].Time != 2.5 {
+		t.Fatalf("trace times = %v, %v; want 1.5, 2.5", tr[0].Time, tr[1].Time)
+	}
+}
+
+func TestPeakOfDetectsLeak(t *testing.T) {
+	_, err := PeakOf(func(m *Allocator) error {
+		m.MustAlloc(10, "leak")
+		return nil
+	})
+	if err == nil {
+		t.Fatal("PeakOf did not report leak")
+	}
+}
+
+func TestPeakOfMeasuresPeak(t *testing.T) {
+	peak, err := PeakOf(func(m *Allocator) error {
+		a := m.MustAlloc(100, "a")
+		b := m.MustAlloc(200, "b")
+		m.Free(a)
+		c := m.MustAlloc(50, "c")
+		m.Free(b)
+		m.Free(c)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak != 300 {
+		t.Fatalf("peak = %d, want 300", peak)
+	}
+}
+
+func TestResetPeak(t *testing.T) {
+	m := New(0)
+	a := m.MustAlloc(100, "a")
+	m.Free(a)
+	m.ResetPeak()
+	if m.Peak() != 0 {
+		t.Fatalf("peak after reset = %d, want 0", m.Peak())
+	}
+}
+
+// Property: for any sequence of alloc/free operations, live equals the sum
+// of outstanding allocations and peak >= live at all times.
+func TestAllocatorInvariants(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		m := New(0)
+		var live int64
+		var allocs []*Allocation
+		for i, s := range sizes {
+			if i%3 == 2 && len(allocs) > 0 {
+				// Free the oldest outstanding allocation.
+				a := allocs[0]
+				allocs = allocs[1:]
+				live -= a.Bytes()
+				m.Free(a)
+			} else {
+				a := m.MustAlloc(int64(s), "p")
+				allocs = append(allocs, a)
+				live += int64(s)
+			}
+			if m.Live() != live || m.Peak() < m.Live() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,261 @@
+// Package model holds the architectural description of transformer language
+// models and the shape, byte-size and FLOP arithmetic that every other layer
+// of the simulator is built on.
+//
+// Nothing in this package executes a model; it answers questions like "how
+// many bytes is the KV cache of one token at one layer", "how large is the
+// intermediate tensor of the MLP block", and "how many FLOPs does prefilling
+// n tokens cost". Those quantities fully determine the memory-footprint and
+// latency behaviour that the PrefillOnly paper studies.
+package model
+
+import "fmt"
+
+// DType identifies a tensor element type. Only the byte width matters to the
+// simulator.
+type DType int
+
+const (
+	// BF16 is 16-bit brain floating point (2 bytes/element).
+	BF16 DType = iota
+	// FP16 is IEEE half precision (2 bytes/element).
+	FP16
+	// FP8 is 8-bit floating point (1 byte/element), used for quantized
+	// weights in the paper's A100/H100 setups.
+	FP8
+	// FP32 is IEEE single precision (4 bytes/element).
+	FP32
+)
+
+// Bytes returns the number of bytes one element of the type occupies.
+func (d DType) Bytes() int {
+	switch d {
+	case FP8:
+		return 1
+	case BF16, FP16:
+		return 2
+	case FP32:
+		return 4
+	default:
+		return 2
+	}
+}
+
+// String returns the conventional lower-case name of the dtype.
+func (d DType) String() string {
+	switch d {
+	case BF16:
+		return "bfloat16"
+	case FP16:
+		return "float16"
+	case FP8:
+		return "fp8"
+	case FP32:
+		return "float32"
+	default:
+		return fmt.Sprintf("dtype(%d)", int(d))
+	}
+}
+
+// Config describes a decoder-only transformer in enough detail to derive
+// every tensor shape that appears during prefilling. The fields mirror the
+// HuggingFace config.json vocabulary so the presets are auditable against
+// the real models the paper serves.
+type Config struct {
+	// Name is the canonical model identifier, e.g. "meta-llama/Llama-3.1-8B".
+	Name string
+	// Layers is the number of transformer blocks.
+	Layers int
+	// Hidden is the model (residual stream) dimension.
+	Hidden int
+	// Heads is the number of query attention heads.
+	Heads int
+	// KVHeads is the number of key/value heads (grouped-query attention).
+	KVHeads int
+	// HeadDim is the per-head dimension; Hidden == Heads*HeadDim for the
+	// models used in the paper.
+	HeadDim int
+	// Intermediate is the MLP expansion dimension (per projection, before
+	// the gate/up concatenation).
+	Intermediate int
+	// Vocab is the vocabulary size (drives the lm-head and logits sizes).
+	Vocab int
+	// WeightDType is the storage precision of weights (FP8 for the
+	// quantized 32B/70B checkpoints in the paper).
+	WeightDType DType
+	// ActDType is the precision activations and KV cache entries are kept
+	// in during inference (BF16 for all paper setups).
+	ActDType DType
+	// TiedEmbeddings reports whether the input embedding and lm-head share
+	// one matrix (true for the small Llama models).
+	TiedEmbeddings bool
+}
+
+// Validate reports an error when the configuration is internally
+// inconsistent (e.g. head counts that do not divide the hidden size).
+func (c *Config) Validate() error {
+	switch {
+	case c.Layers <= 0:
+		return fmt.Errorf("model %q: Layers must be positive, got %d", c.Name, c.Layers)
+	case c.Hidden <= 0:
+		return fmt.Errorf("model %q: Hidden must be positive, got %d", c.Name, c.Hidden)
+	case c.Heads <= 0:
+		return fmt.Errorf("model %q: Heads must be positive, got %d", c.Name, c.Heads)
+	case c.KVHeads <= 0 || c.KVHeads > c.Heads:
+		return fmt.Errorf("model %q: KVHeads must be in [1, Heads], got %d", c.Name, c.KVHeads)
+	case c.Heads%c.KVHeads != 0:
+		return fmt.Errorf("model %q: Heads (%d) must be a multiple of KVHeads (%d)", c.Name, c.Heads, c.KVHeads)
+	case c.HeadDim <= 0:
+		return fmt.Errorf("model %q: HeadDim must be positive, got %d", c.Name, c.HeadDim)
+	case c.Heads*c.HeadDim != c.Hidden:
+		return fmt.Errorf("model %q: Heads*HeadDim (%d) must equal Hidden (%d)", c.Name, c.Heads*c.HeadDim, c.Hidden)
+	case c.Intermediate <= 0:
+		return fmt.Errorf("model %q: Intermediate must be positive, got %d", c.Name, c.Intermediate)
+	case c.Vocab <= 0:
+		return fmt.Errorf("model %q: Vocab must be positive, got %d", c.Name, c.Vocab)
+	}
+	return nil
+}
+
+// KVDim is the total key (or value) width per token: KVHeads*HeadDim.
+func (c *Config) KVDim() int { return c.KVHeads * c.HeadDim }
+
+// QDim is the total query width per token: Heads*HeadDim. It equals Hidden
+// for the unsharded models but shrinks under tensor parallelism.
+func (c *Config) QDim() int { return c.Heads * c.HeadDim }
+
+// Params returns the total parameter count of the model, decomposed the same
+// way the real checkpoints are: embeddings, per-layer attention and MLP
+// projections, norms, and the lm-head.
+func (c *Config) Params() int64 {
+	h := int64(c.Hidden)
+	q := int64(c.QDim())
+	inter := int64(c.Intermediate)
+	kv := int64(c.KVDim())
+	// Attention: Wq (h×q), Wk (h×kv), Wv (h×kv), Wo (q×h).
+	attn := 2*h*q + 2*h*kv
+	// MLP: gate (h×inter), up (h×inter), down (inter×h).
+	mlp := 3 * h * inter
+	// Two RMSNorm weight vectors per layer.
+	norms := 2 * h
+	perLayer := attn + mlp + norms
+	embed := int64(c.Vocab) * h
+	lmHead := embed
+	if c.TiedEmbeddings {
+		lmHead = 0
+	}
+	finalNorm := h
+	return embed + int64(c.Layers)*perLayer + lmHead + finalNorm
+}
+
+// WeightBytes is the GPU memory the model weights occupy at their storage
+// precision.
+func (c *Config) WeightBytes() int64 {
+	return c.Params() * int64(c.WeightDType.Bytes())
+}
+
+// KVBytesPerTokenLayer is the size of the key+value cache entries one token
+// contributes at one layer.
+func (c *Config) KVBytesPerTokenLayer() int64 {
+	return 2 * int64(c.KVDim()) * int64(c.ActDType.Bytes())
+}
+
+// KVBytesPerToken is the size of the full-depth KV cache of one token
+// (all layers), i.e. what a conventional engine must retain per token.
+func (c *Config) KVBytesPerToken() int64 {
+	return c.KVBytesPerTokenLayer() * int64(c.Layers)
+}
+
+// KVBytes is the full KV cache footprint of a request with n tokens.
+func (c *Config) KVBytes(n int) int64 {
+	return c.KVBytesPerToken() * int64(n)
+}
+
+// HiddenBytesPerToken is the residual-stream tensor size per token.
+func (c *Config) HiddenBytesPerToken() int64 {
+	return int64(c.Hidden) * int64(c.ActDType.Bytes())
+}
+
+// MLPIntermediate1BytesPerToken is the fused gate+up projection output per
+// token (the "Intermediate 1" tensor of Figure 4: 2×Intermediate elements).
+func (c *Config) MLPIntermediate1BytesPerToken() int64 {
+	return 2 * int64(c.Intermediate) * int64(c.ActDType.Bytes())
+}
+
+// MLPIntermediate2BytesPerToken is the SwiGLU activation output per token
+// (the "Intermediate 2" tensor of Figure 4: Intermediate elements).
+func (c *Config) MLPIntermediate2BytesPerToken() int64 {
+	return int64(c.Intermediate) * int64(c.ActDType.Bytes())
+}
+
+// QKVBytesPerToken is the concatenated query/key/value projection output per
+// token.
+func (c *Config) QKVBytesPerToken() int64 {
+	return (int64(c.QDim()) + 2*int64(c.KVDim())) * int64(c.ActDType.Bytes())
+}
+
+// AttnOutBytesPerToken is the attention output tensor per token (query
+// width, before the output projection).
+func (c *Config) AttnOutBytesPerToken() int64 {
+	return int64(c.QDim()) * int64(c.ActDType.Bytes())
+}
+
+// LogitsBytes is the size of the lm-head output for n positions. Prefill-only
+// serving computes logits for a single position.
+func (c *Config) LogitsBytes(positions int) int64 {
+	return int64(c.Vocab) * int64(positions) * 4 // logits are fp32
+}
+
+// LinearFLOPsPerToken is the dense-projection work per token: every weight
+// matrix participates in one multiply-accumulate per token (2 FLOPs per
+// parameter), excluding the lm-head which prefill-only engines evaluate for
+// a single position.
+func (c *Config) LinearFLOPsPerToken() int64 {
+	h := int64(c.Hidden)
+	q := int64(c.QDim())
+	inter := int64(c.Intermediate)
+	kv := int64(c.KVDim())
+	attnProj := 2*h*q + 2*h*kv
+	mlp := 3 * h * inter
+	return 2 * int64(c.Layers) * (attnProj + mlp)
+}
+
+// LMHeadFLOPs is the one-position lm-head matmul cost.
+func (c *Config) LMHeadFLOPs() int64 {
+	return 2 * int64(c.Hidden) * int64(c.Vocab)
+}
+
+// AttnFLOPsRange returns the attention-score work (QK^T and PV, causal) for
+// computing positions (c, n] given that positions [0, c] already have KV
+// entries available. Each new position i attends to i+1 keys, so the total
+// is sum_{i=c+1..n} i ≈ (n²−c²)/2 pairs, each pair costing
+// 2·2·HeadDim FLOPs per query head.
+func (cfg *Config) AttnFLOPsRange(cached, total int) int64 {
+	if total <= cached {
+		return 0
+	}
+	n := int64(total)
+	cc := int64(cached)
+	pairs := (n*(n+1) - cc*(cc+1)) / 2
+	perPair := 4 * int64(cfg.HeadDim) * int64(cfg.Heads)
+	return int64(cfg.Layers) * pairs * perPair
+}
+
+// PrefillFLOPs is the total forward-pass work for prefilling a request of
+// `total` tokens of which `cached` hit the prefix cache (their KV is reused,
+// so neither their projections nor their rows of attention are recomputed).
+func (c *Config) PrefillFLOPs(cached, total int) int64 {
+	if total <= cached {
+		return c.LMHeadFLOPs()
+	}
+	fresh := int64(total - cached)
+	return fresh*c.LinearFLOPsPerToken() + c.AttnFLOPsRange(cached, total) + c.LMHeadFLOPs()
+}
+
+// DecodeFLOPsPerToken is the per-step work of autoregressive decoding with a
+// context of ctx tokens: one token of linear work plus one row of attention
+// plus the lm-head.
+func (c *Config) DecodeFLOPsPerToken(ctx int) int64 {
+	row := 4 * int64(c.HeadDim) * int64(c.Heads) * int64(ctx) * int64(c.Layers)
+	return c.LinearFLOPsPerToken() + row + c.LMHeadFLOPs()
+}

@@ -1,0 +1,164 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLlama8BParamsCloseTo8B(t *testing.T) {
+	c := Llama31_8B()
+	p := c.Params()
+	if p < 7_900_000_000 || p > 8_300_000_000 {
+		t.Fatalf("Llama-3.1-8B params = %d, want ~8.03B", p)
+	}
+}
+
+func TestQwen32BParamsCloseTo32B(t *testing.T) {
+	c := Qwen32BFP8()
+	p := c.Params()
+	if p < 31_000_000_000 || p > 34_500_000_000 {
+		t.Fatalf("Qwen-32B params = %d, want ~32.8B", p)
+	}
+}
+
+func TestLlama70BParamsCloseTo70B(t *testing.T) {
+	c := Llama33_70BFP8()
+	p := c.Params()
+	if p < 69_000_000_000 || p > 72_000_000_000 {
+		t.Fatalf("Llama-3.3-70B params = %d, want ~70.6B", p)
+	}
+}
+
+// The paper (§2.1) states the KV cache of a 100,000-token request is around
+// 12 GB on Llama-3.1-8B.
+func TestKVCache100kTokensIs12GB(t *testing.T) {
+	c := Llama31_8B()
+	got := c.KVBytes(100_000)
+	gb := float64(got) / (1 << 30)
+	if gb < 11.5 || gb > 12.5 {
+		t.Fatalf("100k-token KV cache = %.2f GiB, want ~12.2 GiB", gb)
+	}
+}
+
+// The paper (§4.1, Figure 4) states the MLP intermediate tensor holds 28,672
+// floats per token, 14× the one-layer KV size.
+func TestMLPIntermediateIs14xOneLayerKV(t *testing.T) {
+	c := Llama31_8B()
+	inter1 := c.MLPIntermediate1BytesPerToken()
+	kv := c.KVBytesPerTokenLayer()
+	if inter1 != 14*kv {
+		t.Fatalf("intermediate1/one-layer-KV = %d/%d = %.2f, want exactly 14",
+			inter1, kv, float64(inter1)/float64(kv))
+	}
+	inter2 := c.MLPIntermediate2BytesPerToken()
+	if inter2 != 7*kv {
+		t.Fatalf("intermediate2 = %d, want 7× one-layer KV (%d)", inter2, 7*kv)
+	}
+}
+
+func TestFigure4TensorShapes(t *testing.T) {
+	c := Llama31_8B()
+	const n = 32768
+	// Input 32768×4096 bf16.
+	if got, want := c.HiddenBytesPerToken()*n, int64(32768*4096*2); got != want {
+		t.Errorf("hidden tensor bytes = %d, want %d", got, want)
+	}
+	// Intermediate 1: 32768×28672 bf16.
+	if got, want := c.MLPIntermediate1BytesPerToken()*n, int64(32768*28672*2); got != want {
+		t.Errorf("intermediate1 bytes = %d, want %d", got, want)
+	}
+	// Intermediate 2: 32768×14336 bf16.
+	if got, want := c.MLPIntermediate2BytesPerToken()*n, int64(32768*14336*2); got != want {
+		t.Errorf("intermediate2 bytes = %d, want %d", got, want)
+	}
+}
+
+func TestValidateAcceptsPresets(t *testing.T) {
+	for name, c := range Presets() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	base := func() *Config { return Llama31_8B() }
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero layers", func(c *Config) { c.Layers = 0 }},
+		{"negative hidden", func(c *Config) { c.Hidden = -1 }},
+		{"zero heads", func(c *Config) { c.Heads = 0 }},
+		{"kv heads exceed heads", func(c *Config) { c.KVHeads = c.Heads + 1 }},
+		{"heads not multiple of kv heads", func(c *Config) { c.KVHeads = 3 }},
+		{"head dim mismatch", func(c *Config) { c.HeadDim = 64 }},
+		{"zero intermediate", func(c *Config) { c.Intermediate = 0 }},
+		{"zero vocab", func(c *Config) { c.Vocab = 0 }},
+	}
+	for _, tc := range cases {
+		c := base()
+		tc.mutate(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid config", tc.name)
+		}
+	}
+}
+
+func TestAttnFLOPsRangeBasics(t *testing.T) {
+	c := Llama31_8B()
+	if got := c.AttnFLOPsRange(10, 10); got != 0 {
+		t.Errorf("fully-cached attention FLOPs = %d, want 0", got)
+	}
+	if got := c.AttnFLOPsRange(12, 10); got != 0 {
+		t.Errorf("cached beyond total FLOPs = %d, want 0", got)
+	}
+	// Quadratic growth: doubling n should roughly quadruple attention work.
+	f1 := c.AttnFLOPsRange(0, 1000)
+	f2 := c.AttnFLOPsRange(0, 2000)
+	ratio := float64(f2) / float64(f1)
+	if ratio < 3.9 || ratio > 4.1 {
+		t.Errorf("attention FLOPs ratio at 2x tokens = %.3f, want ~4", ratio)
+	}
+}
+
+// Property: prefill FLOPs are monotone in total length and antitone in
+// cached length, and splitting a prefill into cached+suffix conserves the
+// attention work.
+func TestPrefillFLOPsProperties(t *testing.T) {
+	c := Llama31_8B()
+	f := func(a, b uint16) bool {
+		cached := int(a % 2048)
+		extra := int(b%2048) + 1
+		total := cached + extra
+		full := c.PrefillFLOPs(0, total)
+		part := c.PrefillFLOPs(cached, total)
+		if part > full {
+			return false
+		}
+		// Attention decomposition: attn(0,total) == attn(0,cached) + attn(cached,total).
+		return c.AttnFLOPsRange(0, total) == c.AttnFLOPsRange(0, cached)+c.AttnFLOPsRange(cached, total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDTypeBytes(t *testing.T) {
+	cases := []struct {
+		d    DType
+		want int
+	}{{BF16, 2}, {FP16, 2}, {FP8, 1}, {FP32, 4}}
+	for _, tc := range cases {
+		if got := tc.d.Bytes(); got != tc.want {
+			t.Errorf("%s.Bytes() = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestDecodeFLOPsGrowWithContext(t *testing.T) {
+	c := Llama31_8B()
+	if c.DecodeFLOPsPerToken(1000) >= c.DecodeFLOPsPerToken(10000) {
+		t.Fatal("decode FLOPs should grow with context length")
+	}
+}

@@ -1,0 +1,75 @@
+package model
+
+// Preset model configurations matching Table 3 of the paper. Architectural
+// numbers are taken from the public HuggingFace config.json files of each
+// checkpoint.
+
+// Llama31_8B returns meta-llama/Llama-3.1-8B (the low-end-GPU model,
+// served in bf16 on 2×L4).
+func Llama31_8B() *Config {
+	return &Config{
+		Name:         "meta-llama/Llama-3.1-8B",
+		Layers:       32,
+		Hidden:       4096,
+		Heads:        32,
+		KVHeads:      8,
+		HeadDim:      128,
+		Intermediate: 14336,
+		Vocab:        128256,
+		WeightDType:  BF16,
+		ActDType:     BF16,
+	}
+}
+
+// Qwen32BFP8 returns RedHatAI/DeepSeek-R1-Distill-Qwen-32B-FP8-dynamic
+// (the middle-end-GPU model, served on 2×A100 40GB). Weights are FP8,
+// activations bf16.
+func Qwen32BFP8() *Config {
+	return &Config{
+		Name:         "RedHatAI/DeepSeek-R1-Distill-Qwen-32B-FP8-dynamic",
+		Layers:       64,
+		Hidden:       5120,
+		Heads:        40,
+		KVHeads:      8,
+		HeadDim:      128,
+		Intermediate: 27648,
+		Vocab:        152064,
+		WeightDType:  FP8,
+		ActDType:     BF16,
+	}
+}
+
+// Qwen25_32BFP8 returns Qwen-2.5-32B in FP8, the model used in the Figure 10
+// hybrid-prefilling ablation. Architecturally identical to the distill
+// checkpoint (both are Qwen2.5-32B bodies).
+func Qwen25_32BFP8() *Config {
+	c := Qwen32BFP8()
+	c.Name = "Qwen/Qwen2.5-32B-FP8"
+	return c
+}
+
+// Llama33_70BFP8 returns Infermatic/Llama-3.3-70B-Instruct-FP8-Dynamic
+// (the high-end-GPU model, served on 2×H100 80GB).
+func Llama33_70BFP8() *Config {
+	return &Config{
+		Name:         "Infermatic/Llama-3.3-70B-Instruct-FP8-Dynamic",
+		Layers:       80,
+		Hidden:       8192,
+		Heads:        64,
+		KVHeads:      8,
+		HeadDim:      128,
+		Intermediate: 28672,
+		Vocab:        128256,
+		WeightDType:  FP8,
+		ActDType:     BF16,
+	}
+}
+
+// Presets returns all models of Table 3, keyed by short name.
+func Presets() map[string]*Config {
+	return map[string]*Config{
+		"llama-3.1-8b":  Llama31_8B(),
+		"qwen-32b-fp8":  Qwen32BFP8(),
+		"llama-70b-fp8": Llama33_70BFP8(),
+	}
+}

@@ -1,0 +1,51 @@
+package model
+
+import "fmt"
+
+// Shard returns the per-GPU view of the model under tensor parallelism of
+// degree tp and pipeline parallelism of degree pp, following the Megatron
+// sharding scheme vLLM implements: TP splits attention heads, KV heads, the
+// MLP intermediate dimension and the vocabulary across GPUs; PP assigns each
+// GPU a contiguous block of layers.
+//
+// KV heads cannot shard below one per GPU; when tp exceeds KVHeads the heads
+// are replicated (as vLLM does), so the per-GPU KV width stops shrinking.
+func (c *Config) Shard(tp, pp int) (*Config, error) {
+	if tp < 1 || pp < 1 {
+		return nil, fmt.Errorf("model: shard degrees must be >= 1, got tp=%d pp=%d", tp, pp)
+	}
+	if c.Heads%tp != 0 {
+		return nil, fmt.Errorf("model %q: %d heads not divisible by tp=%d", c.Name, c.Heads, tp)
+	}
+	if c.Intermediate%tp != 0 {
+		return nil, fmt.Errorf("model %q: intermediate %d not divisible by tp=%d", c.Name, c.Intermediate, tp)
+	}
+	if c.Layers%pp != 0 {
+		return nil, fmt.Errorf("model %q: %d layers not divisible by pp=%d", c.Name, c.Layers, pp)
+	}
+	s := *c
+	s.Name = fmt.Sprintf("%s[tp=%d,pp=%d]", c.Name, tp, pp)
+	s.Heads = c.Heads / tp
+	s.HeadDim = c.HeadDim // head dim is never sharded
+	// Hidden stays full: the residual stream is replicated across TP ranks.
+	// To keep Heads*HeadDim == Hidden invariants meaningful we track the
+	// sharded attention width via Heads only; Validate is therefore not
+	// applicable to sharded views.
+	s.KVHeads = c.KVHeads / tp
+	if s.KVHeads < 1 {
+		s.KVHeads = 1 // replicated KV heads
+	}
+	s.Intermediate = c.Intermediate / tp
+	s.Vocab = c.Vocab / tp
+	s.Layers = c.Layers / pp
+	return &s, nil
+}
+
+// MustShard is Shard for statically-valid degrees.
+func (c *Config) MustShard(tp, pp int) *Config {
+	s, err := c.Shard(tp, pp)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,208 @@
+// Package sched defines prefill-only requests and the scheduling policies
+// the paper compares: first-in-first-out (FIFO), shortest-remaining-job-
+// first with arrival-time JCT (SRJF), and PrefillOnly's SRJF with
+// continuous JCT calibration and a queueing-time fairness offset
+// (Algorithm 1).
+package sched
+
+import "fmt"
+
+// Request is one prefill-only request travelling through an engine.
+type Request struct {
+	// ID is unique within a run.
+	ID int64
+	// UserID identifies the request's user for routing and prefix
+	// sharing (requests of one user share a profile prefix).
+	UserID int
+	// Tokens is the tokenized prompt. Prefix caching is content-
+	// addressed over this sequence.
+	Tokens []uint64
+	// ArrivalTime is the simulated arrival timestamp in seconds.
+	ArrivalTime float64
+
+	// AllowedTokens optionally constrains the output distribution (§2.3:
+	// e.g. []string{"Yes","No"}); interpreted by the serving frontend.
+	AllowedTokens []string
+
+	// BlockHashes caches the content-addressed prefix-cache hash chain
+	// of Tokens for HashBlockTokens-sized blocks. Engines populate it
+	// lazily (via kvcache.BlockHashes) so repeated cache operations on
+	// large prompts do not re-hash them.
+	BlockHashes     []uint64
+	HashBlockTokens int
+
+	// scheduler bookkeeping
+	staticJCT float64 // SRJF: JCT frozen at enqueue time
+}
+
+// Len returns the input length in tokens.
+func (r *Request) Len() int { return len(r.Tokens) }
+
+// JCTFunc estimates the JCT of a request at the present moment (it
+// consults the prefix cache, so its value changes over time).
+type JCTFunc func(r *Request) float64
+
+// Scheduler selects the next request to run. Implementations are not
+// goroutine-safe; engines are single-threaded event handlers.
+type Scheduler interface {
+	// Name identifies the policy.
+	Name() string
+	// Enqueue adds a request to the waiting queue.
+	Enqueue(r *Request)
+	// Next removes and returns the request to run now, or nil when the
+	// queue is empty. now is the simulated time.
+	Next(now float64) *Request
+	// Len returns the number of waiting requests.
+	Len() int
+}
+
+// --- FIFO ---
+
+// FIFO is first-come-first-serve scheduling (the PagedAttention baseline's
+// policy).
+type FIFO struct {
+	q []*Request
+}
+
+// NewFIFO returns an empty FIFO scheduler.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Name implements Scheduler.
+func (f *FIFO) Name() string { return "fifo" }
+
+// Enqueue implements Scheduler.
+func (f *FIFO) Enqueue(r *Request) { f.q = append(f.q, r) }
+
+// Len implements Scheduler.
+func (f *FIFO) Len() int { return len(f.q) }
+
+// Next implements Scheduler.
+func (f *FIFO) Next(now float64) *Request {
+	if len(f.q) == 0 {
+		return nil
+	}
+	r := f.q[0]
+	f.q[0] = nil
+	f.q = f.q[1:]
+	return r
+}
+
+// --- SRJF (static) ---
+
+// SRJF is shortest-remaining-job-first with the JCT estimated once, at
+// arrival (§6.2's "traditional JCT-based scheduling"). It fails to react
+// when prefix caches appear or are evicted after enqueue.
+type SRJF struct {
+	jct JCTFunc
+	q   []*Request
+}
+
+// NewSRJF returns an SRJF scheduler that freezes each request's JCT at
+// enqueue time using the supplied estimator.
+func NewSRJF(jct JCTFunc) *SRJF {
+	if jct == nil {
+		panic("sched: SRJF requires a JCT function")
+	}
+	return &SRJF{jct: jct}
+}
+
+// Name implements Scheduler.
+func (s *SRJF) Name() string { return "srjf" }
+
+// Enqueue implements Scheduler.
+func (s *SRJF) Enqueue(r *Request) {
+	r.staticJCT = s.jct(r)
+	s.q = append(s.q, r)
+}
+
+// Len implements Scheduler.
+func (s *SRJF) Len() int { return len(s.q) }
+
+// Next implements Scheduler.
+func (s *SRJF) Next(now float64) *Request {
+	best := -1
+	for i, r := range s.q {
+		if best < 0 || r.staticJCT < s.q[best].staticJCT {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return s.remove(best)
+}
+
+func (s *SRJF) remove(i int) *Request {
+	r := s.q[i]
+	s.q[i] = s.q[len(s.q)-1]
+	s.q[len(s.q)-1] = nil
+	s.q = s.q[:len(s.q)-1]
+	return r
+}
+
+// --- SRJF with continuous JCT calibration (Algorithm 1) ---
+
+// Calibrated is PrefillOnly's scheduler: before every scheduling decision
+// it re-estimates the JCT of every waiting request against the current
+// prefix-cache contents, subtracts a queueing-time fairness credit
+// (λ·T_queue), and runs the request with the minimum score.
+type Calibrated struct {
+	jct JCTFunc
+	// Lambda is the fairness parameter, in milliseconds of JCT credit
+	// per second of queueing (see DESIGN.md §5 for the unit convention;
+	// the paper's default is 500).
+	Lambda float64
+	q      []*Request
+}
+
+// NewCalibrated returns the calibrated scheduler. jct is evaluated fresh
+// at every decision.
+func NewCalibrated(jct JCTFunc, lambda float64) *Calibrated {
+	if jct == nil {
+		panic("sched: Calibrated requires a JCT function")
+	}
+	return &Calibrated{jct: jct, Lambda: lambda}
+}
+
+// Name implements Scheduler.
+func (c *Calibrated) Name() string {
+	return fmt.Sprintf("srjf-calibrated(λ=%g)", c.Lambda)
+}
+
+// Enqueue implements Scheduler.
+func (c *Calibrated) Enqueue(r *Request) { c.q = append(c.q, r) }
+
+// Len implements Scheduler.
+func (c *Calibrated) Len() int { return len(c.q) }
+
+// Score returns the Algorithm-1 score of a request at time now:
+// jct(n_input, n_cached) − λ·T_queue. Exported for tests and diagnostics.
+func (c *Calibrated) Score(r *Request, now float64) float64 {
+	queue := now - r.ArrivalTime
+	if queue < 0 {
+		queue = 0
+	}
+	return c.jct(r) - c.Lambda/1000*queue
+}
+
+// Next implements Scheduler: one full calibration sweep, then the minimum
+// score wins.
+func (c *Calibrated) Next(now float64) *Request {
+	best := -1
+	bestScore := 0.0
+	for i, r := range c.q {
+		score := c.Score(r, now)
+		if best < 0 || score < bestScore {
+			best = i
+			bestScore = score
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	r := c.q[best]
+	c.q[best] = c.q[len(c.q)-1]
+	c.q[len(c.q)-1] = nil
+	c.q = c.q[:len(c.q)-1]
+	return r
+}

@@ -1,0 +1,173 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func req(id int64, n int, arrival float64) *Request {
+	toks := make([]uint64, n)
+	for i := range toks {
+		toks[i] = uint64(id)<<32 | uint64(i)
+	}
+	return &Request{ID: id, Tokens: toks, ArrivalTime: arrival}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	f := NewFIFO()
+	f.Enqueue(req(1, 10, 0))
+	f.Enqueue(req(2, 5, 1))
+	f.Enqueue(req(3, 7, 2))
+	for want := int64(1); want <= 3; want++ {
+		r := f.Next(10)
+		if r == nil || r.ID != want {
+			t.Fatalf("FIFO popped %v, want %d", r, want)
+		}
+	}
+	if f.Next(10) != nil {
+		t.Fatal("empty queue returned a request")
+	}
+}
+
+func lenJCT(r *Request) float64 { return float64(r.Len()) }
+
+func TestSRJFPicksShortest(t *testing.T) {
+	s := NewSRJF(lenJCT)
+	s.Enqueue(req(1, 100, 0))
+	s.Enqueue(req(2, 10, 0))
+	s.Enqueue(req(3, 50, 0))
+	if r := s.Next(0); r.ID != 2 {
+		t.Fatalf("SRJF popped %d, want 2", r.ID)
+	}
+	if r := s.Next(0); r.ID != 3 {
+		t.Fatalf("SRJF popped %d, want 3", r.ID)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d, want 1", s.Len())
+	}
+}
+
+func TestSRJFFreezesJCTAtEnqueue(t *testing.T) {
+	// JCT function that changes after enqueue must not affect SRJF order.
+	mult := 1.0
+	jct := func(r *Request) float64 { return mult * float64(r.Len()) }
+	s := NewSRJF(jct)
+	s.Enqueue(req(1, 10, 0))
+	mult = -1 // would invert the order if re-evaluated
+	s.Enqueue(req(2, 20, 0))
+	// Frozen JCTs: r1=10, r2=-20 → r2 first.
+	if r := s.Next(0); r.ID != 2 {
+		t.Fatalf("SRJF popped %d; static JCT not frozen at enqueue", r.ID)
+	}
+}
+
+func TestCalibratedReevaluatesEveryDecision(t *testing.T) {
+	// The cache-aware JCT changes between decisions; Calibrated must see it.
+	cached := map[int64]bool{}
+	jct := func(r *Request) float64 {
+		if cached[r.ID] {
+			return 1
+		}
+		return float64(r.Len())
+	}
+	c := NewCalibrated(jct, 0)
+	c.Enqueue(req(1, 100, 0))
+	c.Enqueue(req(2, 50, 0))
+	c.Enqueue(req(3, 70, 0))
+	if r := c.Next(0); r.ID != 2 {
+		t.Fatalf("first pick %d, want 2", r.ID)
+	}
+	// Request 1 suddenly hits cache (e.g. shares prefix with 2's insert).
+	cached[1] = true
+	if r := c.Next(0); r.ID != 1 {
+		t.Fatalf("after calibration pick %d, want 1", r.ID)
+	}
+}
+
+func TestCalibratedFairnessOffset(t *testing.T) {
+	// λ > 0: a long-waiting long request beats a fresh short one once
+	// λ·T_queue exceeds the JCT difference.
+	c := NewCalibrated(lenJCT, 500) // 0.5s credit per second waited
+	old := req(1, 1000, 0)          // JCT 1000
+	fresh := req(2, 10, 2000)       // JCT 10
+	c.Enqueue(old)
+	c.Enqueue(fresh)
+	// At t=4000: old's credit = 0.5*4000 = 2000 > JCT gap 990.
+	if r := c.Next(4000); r.ID != 1 {
+		t.Fatalf("starved request not prioritized, got %d", r.ID)
+	}
+}
+
+func TestCalibratedLambdaZeroIsPureSRJF(t *testing.T) {
+	c := NewCalibrated(lenJCT, 0)
+	c.Enqueue(req(1, 1000, 0)) // ancient but long
+	c.Enqueue(req(2, 10, 999))
+	if r := c.Next(1000); r.ID != 2 {
+		t.Fatalf("λ=0 pick %d, want 2 (pure SRJF)", r.ID)
+	}
+}
+
+func TestCalibratedScore(t *testing.T) {
+	c := NewCalibrated(lenJCT, 1000) // 1s credit per second waited
+	r := req(1, 100, 5)
+	if got := c.Score(r, 15); got != 100-10 {
+		t.Fatalf("score = %v, want 90", got)
+	}
+	// Arrival in the future clamps queue time at 0.
+	if got := c.Score(r, 0); got != 100 {
+		t.Fatalf("score = %v, want 100", got)
+	}
+}
+
+func TestNilJCTPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil JCT accepted")
+		}
+	}()
+	NewSRJF(nil)
+}
+
+// Property: every scheduler returns each enqueued request exactly once.
+func TestSchedulersConserveRequests(t *testing.T) {
+	f := func(lens []uint16) bool {
+		if len(lens) == 0 {
+			return true
+		}
+		mks := func() []*Request {
+			rs := make([]*Request, len(lens))
+			for i, l := range lens {
+				rs[i] = req(int64(i), int(l%5000)+1, float64(i))
+			}
+			return rs
+		}
+		for _, s := range []Scheduler{NewFIFO(), NewSRJF(lenJCT), NewCalibrated(lenJCT, 500)} {
+			seen := make(map[int64]bool)
+			for _, r := range mks() {
+				s.Enqueue(r)
+			}
+			for i := 0; i < len(lens); i++ {
+				r := s.Next(float64(1000 + i))
+				if r == nil || seen[r.ID] {
+					return false
+				}
+				seen[r.ID] = true
+			}
+			if s.Next(1e9) != nil || s.Len() != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedulerNames(t *testing.T) {
+	for _, s := range []Scheduler{NewFIFO(), NewSRJF(lenJCT), NewCalibrated(lenJCT, 500)} {
+		if s.Name() == "" {
+			t.Fatal("empty scheduler name")
+		}
+	}
+}

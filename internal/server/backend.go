@@ -1,0 +1,185 @@
+// Package server is PrefillOnly's online serving frontend: an
+// OpenAI-compatible HTTP API (§3.1) over a real-time bridge to the
+// simulated engine. Requests are tokenized, scheduled by the engine's
+// calibrated SRJF policy against the live prefix cache, and answered with
+// a constrained single-token completion and its probability scores
+// (§2.3's allowed-token mechanism).
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/tokenizer"
+)
+
+// Result is the outcome of one served request.
+type Result struct {
+	// Token is the sampled output token (the argmax of Scores).
+	Token string
+	// Scores maps each allowed token to its probability; they sum to 1.
+	Scores map[string]float64
+	// SimLatency is the request's latency in simulated seconds
+	// (queueing + execution on the modelled GPU).
+	SimLatency float64
+	// CachedTokens is the prefix-cache hit length.
+	CachedTokens int
+}
+
+// Backend bridges wall-clock callers to the event-driven engine. Simulated
+// time advances at Speedup × wall time, so a request whose modelled
+// latency is 2 s returns after 2/Speedup wall seconds.
+type Backend struct {
+	Tokenizer *tokenizer.Tokenizer
+	// Speedup is the simulated-seconds-per-wall-second factor
+	// (default 1000: modelled GPU latencies shrink to milliseconds).
+	Speedup float64
+
+	mu      sync.Mutex
+	sim     *sim.Sim
+	eng     *core.Engine
+	started time.Time
+	nextID  int64
+	waiters map[int64]chan Result
+	closed  bool
+	wake    chan struct{}
+	done    chan struct{}
+}
+
+// NewBackend builds a backend around a PrefillOnly engine created with the
+// given engine config and options. cfg.Sim and cfg.OnComplete must be
+// unset; the backend owns them.
+func NewBackend(cfg engine.Config, opts core.Options, speedup float64) (*Backend, error) {
+	if cfg.Sim != nil || cfg.OnComplete != nil {
+		return nil, fmt.Errorf("server: Sim and OnComplete are owned by the backend")
+	}
+	if speedup <= 0 {
+		speedup = 1000
+	}
+	b := &Backend{
+		Tokenizer: tokenizer.New(),
+		Speedup:   speedup,
+		sim:       &sim.Sim{},
+		started:   time.Now(),
+		waiters:   make(map[int64]chan Result),
+		wake:      make(chan struct{}, 1),
+		done:      make(chan struct{}),
+	}
+	cfg.Sim = b.sim
+	cfg.OnComplete = b.onComplete
+	eng, err := core.New(cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	b.eng = eng
+	go b.loop()
+	return b, nil
+}
+
+// Engine exposes the wrapped PrefillOnly engine (read-only use).
+func (b *Backend) Engine() *core.Engine { return b.eng }
+
+// simNow maps wall time to simulated seconds.
+func (b *Backend) simNow() float64 {
+	return time.Since(b.started).Seconds() * b.Speedup
+}
+
+// onComplete runs inside sim event handlers (loop holds the lock).
+func (b *Backend) onComplete(rec engine.Record) {
+	ch, ok := b.waiters[rec.Req.ID]
+	if !ok {
+		return
+	}
+	delete(b.waiters, rec.Req.ID)
+	scores := Score(rec.Req.Tokens, rec.Req.AllowedTokens)
+	best, bestP := "", -1.0
+	for tok, p := range scores {
+		if p > bestP {
+			best, bestP = tok, p
+		}
+	}
+	ch <- Result{
+		Token:        best,
+		Scores:       scores,
+		SimLatency:   rec.Latency(),
+		CachedTokens: rec.CachedTokens,
+	}
+}
+
+// loop advances simulated time in lockstep with the wall clock.
+func (b *Backend) loop() {
+	ticker := time.NewTicker(time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-b.done:
+			return
+		case <-ticker.C:
+		case <-b.wake:
+		}
+		b.mu.Lock()
+		b.sim.RunUntil(b.simNow())
+		b.mu.Unlock()
+	}
+}
+
+// Close stops the backend's clock loop. In-flight Submit calls are
+// answered with an error result.
+func (b *Backend) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	close(b.done)
+}
+
+// Submit serves one prompt with an allowed-token constraint, blocking
+// until the engine completes it (in scaled wall time).
+func (b *Backend) Submit(prompt string, allowed []string, userID int) (Result, error) {
+	if len(allowed) == 0 {
+		allowed = []string{"Yes", "No"}
+	}
+	toks := b.Tokenizer.Encode(prompt)
+	if len(toks) == 0 {
+		return Result{}, fmt.Errorf("server: empty prompt")
+	}
+	ch := make(chan Result, 1)
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return Result{}, fmt.Errorf("server: backend closed")
+	}
+	b.nextID++
+	id := b.nextID
+	now := b.simNow()
+	b.sim.RunUntil(now)
+	r := &sched.Request{
+		ID:            id,
+		UserID:        userID,
+		Tokens:        toks,
+		ArrivalTime:   b.sim.Now(),
+		AllowedTokens: allowed,
+	}
+	b.waiters[id] = ch
+	b.eng.Submit(r)
+	b.mu.Unlock()
+
+	select {
+	case b.wake <- struct{}{}:
+	default:
+	}
+	select {
+	case res := <-ch:
+		return res, nil
+	case <-b.done:
+		return Result{}, fmt.Errorf("server: backend closed")
+	}
+}

@@ -1,0 +1,152 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// CompletionRequest is the accepted subset of the OpenAI completions API,
+// extended with the paper's allowed-token constraint.
+type CompletionRequest struct {
+	Model  string `json:"model"`
+	Prompt string `json:"prompt"`
+	// MaxTokens must be 1 (or omitted): this is a prefill-only engine.
+	MaxTokens int `json:"max_tokens,omitempty"`
+	// AllowedTokens constrains the output distribution (default Yes/No).
+	AllowedTokens []string `json:"allowed_tokens,omitempty"`
+	// User routes requests of one user to shared prefix caches.
+	User string `json:"user,omitempty"`
+}
+
+// CompletionChoice is one completion result.
+type CompletionChoice struct {
+	Text         string             `json:"text"`
+	Index        int                `json:"index"`
+	FinishReason string             `json:"finish_reason"`
+	TokenScores  map[string]float64 `json:"token_scores"`
+}
+
+// CompletionResponse is the API response body.
+type CompletionResponse struct {
+	ID      string             `json:"id"`
+	Object  string             `json:"object"`
+	Model   string             `json:"model"`
+	Choices []CompletionChoice `json:"choices"`
+	Usage   CompletionUsage    `json:"usage"`
+	// SimLatencySeconds reports the modelled GPU latency of the request.
+	SimLatencySeconds float64 `json:"sim_latency_seconds"`
+	// CachedTokens reports the prefix-cache hit length.
+	CachedTokens int `json:"cached_tokens"`
+}
+
+// CompletionUsage mirrors the OpenAI usage block.
+type CompletionUsage struct {
+	PromptTokens     int `json:"prompt_tokens"`
+	CompletionTokens int `json:"completion_tokens"`
+	TotalTokens      int `json:"total_tokens"`
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// Handler serves the OpenAI-compatible API over a Backend.
+type Handler struct {
+	Backend   *Backend
+	ModelName string
+	mux       *http.ServeMux
+}
+
+// NewHandler builds the HTTP handler.
+func NewHandler(b *Backend, modelName string) *Handler {
+	h := &Handler{Backend: b, ModelName: modelName, mux: http.NewServeMux()}
+	h.mux.HandleFunc("/v1/completions", h.completions)
+	h.mux.HandleFunc("/v1/models", h.models)
+	h.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (h *Handler) models(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"object": "list",
+		"data": []map[string]string{
+			{"id": h.ModelName, "object": "model", "owned_by": "prefillonly"},
+		},
+	})
+}
+
+func (h *Handler) completions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, apiError{"POST required"})
+		return
+	}
+	var req CompletionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	if req.Prompt == "" {
+		writeJSON(w, http.StatusBadRequest, apiError{"prompt is required"})
+		return
+	}
+	if req.MaxTokens > 1 {
+		writeJSON(w, http.StatusBadRequest,
+			apiError{"prefill-only engine: max_tokens must be 1 (see PrefillOnly §2.3)"})
+		return
+	}
+	userID := 0
+	if req.User != "" {
+		userID = userHash(req.User)
+	}
+	res, err := h.Backend.Submit(req.Prompt, req.AllowedTokens, userID)
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, apiError{err.Error()})
+		return
+	}
+	prompTokens := h.Backend.Tokenizer.Count(req.Prompt)
+	writeJSON(w, http.StatusOK, CompletionResponse{
+		ID:     "cmpl-" + strconv.FormatInt(int64(prompTokens), 36) + strconv.FormatInt(int64(res.CachedTokens), 36),
+		Object: "text_completion",
+		Model:  h.ModelName,
+		Choices: []CompletionChoice{{
+			Text:         res.Token,
+			FinishReason: "length",
+			TokenScores:  res.Scores,
+		}},
+		Usage: CompletionUsage{
+			PromptTokens:     prompTokens,
+			CompletionTokens: 1,
+			TotalTokens:      prompTokens + 1,
+		},
+		SimLatencySeconds: res.SimLatency,
+		CachedTokens:      res.CachedTokens,
+	})
+}
+
+// userHash folds a user identifier into a routing integer.
+func userHash(s string) int {
+	h := 0
+	for i := 0; i < len(s); i++ {
+		h = h*131 + int(s[i])
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h
+}

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	var s Sim
+	var got []float64
+	for _, at := range []float64{3, 1, 2, 1.5} {
+		at := at
+		s.At(at, func() { got = append(got, at) })
+	}
+	end := s.Run()
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if end != 3 {
+		t.Fatalf("final time = %v, want 3", end)
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	var s Sim
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.At(1.0, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	var s Sim
+	fired := 0
+	s.At(1, func() {
+		s.After(1, func() { fired++ })
+	})
+	s.Run()
+	if fired != 1 || s.Now() != 2 {
+		t.Fatalf("fired=%d now=%v", fired, s.Now())
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	var s Sim
+	s.At(5, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.At(1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	var s Sim
+	fired := []float64{}
+	for _, at := range []float64{1, 2, 3, 4} {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	s.RunUntil(2.5)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 1 and 2 only", fired)
+	}
+	if s.Now() != 2.5 {
+		t.Fatalf("now = %v, want 2.5", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", s.Pending())
+	}
+}
+
+func TestPoissonMeanRate(t *testing.T) {
+	p := NewPoisson(10, 42)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += p.Next()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.1) > 0.005 {
+		t.Fatalf("mean inter-arrival = %v, want ~0.1", mean)
+	}
+}
+
+func TestPoissonDeterministic(t *testing.T) {
+	a := NewPoisson(5, 7).ArrivalTimes(0, 100)
+	b := NewPoisson(5, 7).ArrivalTimes(0, 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different arrivals")
+		}
+	}
+	c := NewPoisson(5, 8).ArrivalTimes(0, 100)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical arrivals")
+	}
+}
+
+func TestPoissonArrivalsIncreasing(t *testing.T) {
+	f := func(seed int64) bool {
+		times := NewPoisson(3, seed).ArrivalTimes(1.0, 50)
+		prev := 1.0
+		for _, tt := range times {
+			if tt <= prev {
+				return false
+			}
+			prev = tt
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoissonRejectsBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero rate accepted")
+		}
+	}()
+	NewPoisson(0, 1)
+}

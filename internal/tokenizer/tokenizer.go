@@ -1,0 +1,103 @@
+// Package tokenizer provides a deterministic word-piece style tokenizer
+// for the serving frontend. It is not a linguistic BPE model — engine
+// performance depends only on token counts and token identity (for prefix
+// caching), so the tokenizer's job is to map equal text to equal token
+// streams, split long words the way subword vocabularies do, and be stable
+// across runs.
+package tokenizer
+
+import (
+	"strings"
+	"unicode"
+)
+
+// maxPieceLen approximates subword splitting: words longer than this are
+// split into pieces, mimicking how BPE vocabularies fragment rare words.
+const maxPieceLen = 6
+
+// Tokenizer maps text to deterministic token IDs.
+type Tokenizer struct {
+	// BOS is prepended to every encoding when non-zero.
+	BOS uint64
+}
+
+// New returns a tokenizer with a BOS token, like the paper's Llama/Qwen
+// tokenizers.
+func New() *Tokenizer { return &Tokenizer{BOS: 1} }
+
+// Encode maps text to token IDs: one token per piece, where pieces are
+// whitespace-delimited words further split at punctuation boundaries and
+// maxPieceLen runs.
+func (t *Tokenizer) Encode(text string) []uint64 {
+	var out []uint64
+	if t.BOS != 0 {
+		out = append(out, t.BOS)
+	}
+	for _, piece := range Pieces(text) {
+		out = append(out, pieceID(piece))
+	}
+	return out
+}
+
+// Count returns the token count of text without materializing IDs.
+func (t *Tokenizer) Count(text string) int {
+	n := len(Pieces(text))
+	if t.BOS != 0 {
+		n++
+	}
+	return n
+}
+
+// Pieces splits text into subword pieces.
+func Pieces(text string) []string {
+	var pieces []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() == 0 {
+			return
+		}
+		w := b.String()
+		b.Reset()
+		for len(w) > maxPieceLen {
+			pieces = append(pieces, w[:maxPieceLen])
+			w = w[maxPieceLen:]
+		}
+		pieces = append(pieces, w)
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsSpace(r):
+			flush()
+		case unicode.IsPunct(r) || unicode.IsSymbol(r):
+			flush()
+			pieces = append(pieces, string(r))
+		default:
+			b.WriteRune(r)
+		}
+	}
+	flush()
+	return pieces
+}
+
+// pieceID hashes a piece into a stable token ID (FNV-1a, offset away from
+// the reserved special-token range).
+func pieceID(piece string) uint64 {
+	const (
+		offset = 0xcbf29ce484222325
+		prime  = 0x100000001b3
+	)
+	h := uint64(offset)
+	for i := 0; i < len(piece); i++ {
+		h ^= uint64(piece[i])
+		h *= prime
+	}
+	// Keep IDs out of the special-token range [0, 256).
+	if h < 256 {
+		h += 256
+	}
+	return h
+}
+
+// TokenID exposes the stable ID of one piece (used by the scorer to
+// identify allowed output tokens).
+func TokenID(piece string) uint64 { return pieceID(piece) }

@@ -1,0 +1,119 @@
+// Package prefillonly is a Go reproduction of "PrefillOnly: An Inference
+// Engine for Prefill-only Workloads in Large Language Model Applications"
+// (SOSP 2025).
+//
+// The package exposes three surfaces:
+//
+//   - Simulation: build a cluster of serving engines (PrefillOnly or the
+//     paper's four baselines) on modelled GPUs, drive it with workloads,
+//     and collect per-request latency records. Everything is deterministic
+//     and runs on a discrete-event clock.
+//   - Serving: an OpenAI-compatible HTTP frontend (NewServer) that
+//     tokenizes prompts, schedules them through PrefillOnly's calibrated
+//     SRJF policy with prefix caching, and returns constrained
+//     single-token completions with probability scores.
+//   - Catalogs: the paper's model and GPU presets (Models, GPUs) and
+//     workload generators (NewPostRecommendation, NewCreditVerification).
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// paper-versus-measured record of every table and figure.
+package prefillonly
+
+import (
+	"repro/internal/engine"
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// Request is a prefill-only request: a tokenized prompt with a user
+// identity (for routing and prefix sharing) and an optional allowed-token
+// output constraint.
+type Request = sched.Request
+
+// Record is the completion report of one request: arrival/start/finish
+// timestamps, cache-hit length and spill accounting.
+type Record = engine.Record
+
+// ModelConfig describes a transformer architecture (layers, heads, MLP
+// width, precisions) and derives every tensor size the engines account.
+type ModelConfig = model.Config
+
+// GPUSpec describes a device for the analytical performance model.
+type GPUSpec = hw.GPU
+
+// Dataset is a generated request population.
+type Dataset = workload.Dataset
+
+// Arrival pairs a request with its arrival time.
+type Arrival = workload.Arrival
+
+// LatencySummary holds order statistics of request latencies.
+type LatencySummary = metrics.Summary
+
+// Model presets (Table 3 of the paper).
+var (
+	// Llama31_8B is meta-llama/Llama-3.1-8B (bf16).
+	Llama31_8B = model.Llama31_8B
+	// Qwen32BFP8 is DeepSeek-R1-Distill-Qwen-32B in FP8.
+	Qwen32BFP8 = model.Qwen32BFP8
+	// Llama33_70BFP8 is Llama-3.3-70B-Instruct in FP8.
+	Llama33_70BFP8 = model.Llama33_70BFP8
+)
+
+// GPU presets (Table 3 of the paper).
+var (
+	// L4 is the NVIDIA L4 24 GB.
+	L4 = hw.L4
+	// A100 is the NVIDIA A100 40 GB PCIe.
+	A100 = hw.A100
+	// H100 is the NVIDIA H100 80 GB PCIe.
+	H100 = hw.H100PCIe
+	// H100NVLink is the H100 with an NVLink bridge.
+	H100NVLink = hw.H100NVLink
+)
+
+// Models returns the model presets keyed by short name.
+func Models() map[string]*ModelConfig { return model.Presets() }
+
+// GPUs returns the GPU presets keyed by short name.
+func GPUs() map[string]*GPUSpec { return hw.Presets() }
+
+// PostRecommendationConfig parameterizes NewPostRecommendation; zero
+// values take the paper's Table-1 numbers.
+type PostRecommendationConfig = workload.PostRecommendationConfig
+
+// CreditVerificationConfig parameterizes NewCreditVerification; zero
+// values take the paper's Table-1 numbers.
+type CreditVerificationConfig = workload.CreditVerificationConfig
+
+// NewPostRecommendation generates the paper's post-recommendation dataset
+// (20 users × 50 posts over 11k–17k-token profiles).
+func NewPostRecommendation(cfg PostRecommendationConfig) *Dataset {
+	return workload.PostRecommendation(cfg)
+}
+
+// NewCreditVerification generates the paper's credit-verification dataset
+// (60 users × one 40k–60k-token history).
+func NewCreditVerification(cfg CreditVerificationConfig) *Dataset {
+	return workload.CreditVerification(cfg)
+}
+
+// AssignPoissonArrivals stamps the paper's §7.1 arrival pattern onto a
+// dataset at the given requests-per-second rate and returns the arrivals
+// sorted by time.
+func AssignPoissonArrivals(d *Dataset, qps float64, seed int64) ([]Arrival, error) {
+	return workload.AssignPoissonArrivals(d, qps, seed)
+}
+
+// SummarizeLatencies computes order statistics over records' end-to-end
+// latencies.
+func SummarizeLatencies(records []Record) LatencySummary {
+	xs := make([]float64, len(records))
+	for i, r := range records {
+		xs[i] = r.Latency()
+	}
+	return metrics.Summarize(xs)
+}

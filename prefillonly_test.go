@@ -1,0 +1,102 @@
+package prefillonly
+
+import (
+	"testing"
+)
+
+func TestSimulationQuickstartFlow(t *testing.T) {
+	s, err := NewSimulation(SimulationConfig{MaxInputLen: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := "user profile: reads operating systems papers, follows databases and distributed systems, " +
+		"clicked on twelve scheduling articles last month, skips celebrity news and sports. "
+	s.SubmitText(0, 1, profile+"post: a paper about LLM serving. recommend? answer:", []string{"Yes", "No"})
+	s.SubmitText(0.1, 1, profile+"post: a paper about gardening. recommend? answer:", []string{"Yes", "No"})
+	s.SubmitText(0.2, 2, "credit history: on-time payments. approve? answer:", []string{"Approve", "Deny"})
+	recs := s.Run()
+	if len(recs) != 3 {
+		t.Fatalf("completed %d, want 3", len(recs))
+	}
+	sum := SummarizeLatencies(recs)
+	if sum.Count != 3 || sum.Mean <= 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	// The two user-1 prompts share a profile prefix.
+	if s.CacheHitRate() <= 0 {
+		t.Fatal("no cache hits on shared-prefix prompts")
+	}
+}
+
+func TestSimulationAllEngines(t *testing.T) {
+	for _, eng := range []EngineName{
+		EnginePrefillOnly, EnginePagedAttention, EngineChunkedPrefill,
+		EngineTensorParallel, EnginePipelineParallel,
+	} {
+		s, err := NewSimulation(SimulationConfig{Engine: eng, MaxInputLen: 4000})
+		if err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		s.SubmitText(0, 1, "a short prompt to classify. answer:", nil)
+		if recs := s.Run(); len(recs) != 1 {
+			t.Fatalf("%s completed %d requests", eng, len(recs))
+		}
+	}
+}
+
+func TestSimulationDataset(t *testing.T) {
+	s, err := NewSimulation(SimulationConfig{MaxInputLen: 18000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := NewPostRecommendation(PostRecommendationConfig{Users: 2, PostsPerUser: 5, Seed: 3})
+	if err := s.SubmitDataset(ds, 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	recs := s.Run()
+	if len(recs) != 10 {
+		t.Fatalf("completed %d, want 10", len(recs))
+	}
+}
+
+func TestSimulationConfigValidation(t *testing.T) {
+	if _, err := NewSimulation(SimulationConfig{Engine: "warp-drive"}); err == nil {
+		t.Error("unknown engine accepted")
+	}
+	if _, err := NewSimulation(SimulationConfig{Engine: EngineTensorParallel, GPUs: 3}); err == nil {
+		t.Error("odd GPU count for TP accepted")
+	}
+	if _, err := NewSimulation(SimulationConfig{GPUs: -2}); err == nil {
+		t.Error("negative GPU count accepted")
+	}
+}
+
+func TestCatalogs(t *testing.T) {
+	if len(Models()) != 3 {
+		t.Fatalf("models = %d", len(Models()))
+	}
+	if len(GPUs()) != 4 {
+		t.Fatalf("gpus = %d", len(GPUs()))
+	}
+	if Llama31_8B().Hidden != 4096 || L4().MemoryBytes <= 0 {
+		t.Fatal("preset accessors broken")
+	}
+}
+
+func TestServerFacade(t *testing.T) {
+	srv, err := NewServer(ServerConfig{MaxInputLen: 4000, Speedup: 1e7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	res, err := srv.Submit("profile: likes databases. post: a B-tree paper. recommend? answer:", nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Token == "" || res.SimLatency <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if srv.Handler() == nil {
+		t.Fatal("nil handler")
+	}
+}

@@ -1,0 +1,76 @@
+package prefillonly
+
+import (
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+// ServerConfig configures NewServer. Zero values take the low-end paper
+// setup (Llama-3.1-8B on one L4).
+type ServerConfig struct {
+	// Model is the served model (default Llama31_8B()).
+	Model *ModelConfig
+	// GPU is the modelled device (default L4()).
+	GPU *GPUSpec
+	// MaxInputLen is the profile-run length (default 20000).
+	MaxInputLen int
+	// Lambda is the fairness parameter (default 500).
+	Lambda float64
+	// Speedup scales simulated time against the wall clock: a request
+	// with 2 s of modelled GPU latency returns after 2/Speedup wall
+	// seconds (default 1000).
+	Speedup float64
+	// ModelName is the name reported by /v1/models (defaults to the
+	// model config's name).
+	ModelName string
+}
+
+// Server is the OpenAI-compatible serving frontend over a PrefillOnly
+// engine.
+type Server struct {
+	backend *server.Backend
+	handler *server.Handler
+}
+
+// ServerResult is a served completion (re-exported from the frontend).
+type ServerResult = server.Result
+
+// NewServer builds the engine (profile run included) and its HTTP handler.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Model == nil {
+		cfg.Model = Llama31_8B()
+	}
+	if cfg.GPU == nil {
+		cfg.GPU = L4()
+	}
+	if cfg.MaxInputLen == 0 {
+		cfg.MaxInputLen = 20000
+	}
+	if cfg.ModelName == "" {
+		cfg.ModelName = cfg.Model.Name
+	}
+	b, err := server.NewBackend(engine.Config{
+		Model:         cfg.Model,
+		GPU:           cfg.GPU,
+		ProfileMaxLen: cfg.MaxInputLen,
+	}, core.Options{Lambda: cfg.Lambda}, cfg.Speedup)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{backend: b, handler: server.NewHandler(b, cfg.ModelName)}, nil
+}
+
+// Handler returns the http.Handler exposing /v1/completions, /v1/models
+// and /healthz.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Submit serves one prompt directly (bypassing HTTP).
+func (s *Server) Submit(prompt string, allowed []string, userID int) (ServerResult, error) {
+	return s.backend.Submit(prompt, allowed, userID)
+}
+
+// Close stops the backend clock.
+func (s *Server) Close() { s.backend.Close() }

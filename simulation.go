@@ -1,0 +1,199 @@
+package prefillonly
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/sim"
+	"repro/internal/tokenizer"
+)
+
+// EngineName selects a serving engine implementation.
+type EngineName string
+
+// The five engines the paper compares.
+const (
+	// EnginePrefillOnly is the paper's engine: hybrid prefilling, suffix
+	// KV discarding, SRJF with continuous JCT calibration.
+	EnginePrefillOnly EngineName = "prefillonly"
+	// EnginePagedAttention is the vLLM baseline (standard prefill, FCFS).
+	EnginePagedAttention EngineName = "pagedattention"
+	// EngineChunkedPrefill is the Sarathi-Serve baseline.
+	EngineChunkedPrefill EngineName = "chunked-prefill"
+	// EngineTensorParallel is TP=2 across a GPU pair.
+	EngineTensorParallel EngineName = "tensor-parallel"
+	// EnginePipelineParallel is PP=2 across a GPU pair.
+	EnginePipelineParallel EngineName = "pipeline-parallel"
+)
+
+// SimulationConfig configures NewSimulation. Zero values take the paper's
+// low-end setup: PrefillOnly on two L4 GPUs serving Llama-3.1-8B.
+type SimulationConfig struct {
+	// Engine selects the serving engine (default EnginePrefillOnly).
+	Engine EngineName
+	// Model is the served model (default Llama31_8B()).
+	Model *ModelConfig
+	// GPU is the device type (default L4()).
+	GPU *GPUSpec
+	// GPUs is the total device count (default 2). Parallel engines span
+	// pairs; serial engines get one instance per GPU with user-id
+	// routing.
+	GPUs int
+	// MaxInputLen is the profile-run length (default: 20000, or set it
+	// to your workload's maximum).
+	MaxInputLen int
+	// Lambda is PrefillOnly's fairness parameter in ms of JCT credit per
+	// second queued (default 500; negative means 0).
+	Lambda float64
+	// HostCacheBytes enables the §9 CPU KV-offload extension: evicted
+	// prefix KV demotes to a host tier of this size and is restored over
+	// the host link when that beats recomputation (0 = discard, the
+	// paper's default).
+	HostCacheBytes int64
+}
+
+// Simulation is a deterministic serving cluster on a virtual clock.
+type Simulation struct {
+	cfg     SimulationConfig
+	sim     *sim.Sim
+	cluster *cluster.Cluster
+	tok     *tokenizer.Tokenizer
+	records []Record
+	nextID  int64
+}
+
+// NewSimulation builds the cluster (running each engine's profile run and
+// sizing its prefix-cache pool) and returns a ready simulation.
+func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
+	if cfg.Engine == "" {
+		cfg.Engine = EnginePrefillOnly
+	}
+	if cfg.Model == nil {
+		cfg.Model = Llama31_8B()
+	}
+	if cfg.GPU == nil {
+		cfg.GPU = L4()
+	}
+	if cfg.GPUs == 0 {
+		cfg.GPUs = 2
+	}
+	if cfg.GPUs < 0 {
+		return nil, fmt.Errorf("prefillonly: GPUs must be positive, got %d", cfg.GPUs)
+	}
+	if cfg.MaxInputLen == 0 {
+		cfg.MaxInputLen = 20000
+	}
+	s := &Simulation{cfg: cfg, sim: &sim.Sim{}, tok: tokenizer.New()}
+
+	ecfg := engine.Config{
+		Model:          cfg.Model,
+		GPU:            cfg.GPU,
+		Sim:            s.sim,
+		ProfileMaxLen:  cfg.MaxInputLen,
+		HostCacheBytes: cfg.HostCacheBytes,
+		OnComplete:     func(r Record) { s.records = append(s.records, r) },
+	}
+	var instances []engine.Engine
+	mk := func() (engine.Engine, error) {
+		switch cfg.Engine {
+		case EnginePrefillOnly:
+			return core.New(ecfg, core.Options{Lambda: cfg.Lambda})
+		case EnginePagedAttention:
+			return engine.NewPagedAttention(ecfg)
+		case EngineChunkedPrefill:
+			return engine.NewChunkedPrefill(ecfg, 0)
+		case EngineTensorParallel:
+			return engine.NewTensorParallel(ecfg)
+		case EnginePipelineParallel:
+			return engine.NewPipelineParallel(ecfg)
+		default:
+			return nil, fmt.Errorf("prefillonly: unknown engine %q", cfg.Engine)
+		}
+	}
+	perInstance := 1
+	switch cfg.Engine {
+	case EngineTensorParallel, EnginePipelineParallel:
+		perInstance = 2
+		if cfg.GPUs%2 != 0 {
+			return nil, fmt.Errorf("prefillonly: %s needs an even GPU count, got %d", cfg.Engine, cfg.GPUs)
+		}
+	}
+	for g := 0; g < cfg.GPUs/perInstance; g++ {
+		e, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		instances = append(instances, e)
+	}
+	cl, err := cluster.New(instances...)
+	if err != nil {
+		return nil, err
+	}
+	s.cluster = cl
+	return s, nil
+}
+
+// Now returns the current simulated time in seconds.
+func (s *Simulation) Now() float64 { return s.sim.Now() }
+
+// SubmitAt schedules a request's arrival at absolute simulated time t.
+func (s *Simulation) SubmitAt(t float64, r *Request) {
+	r.ArrivalTime = t
+	s.sim.At(t, func() { s.cluster.Submit(r) })
+}
+
+// SubmitText tokenizes a prompt and schedules its arrival at time t,
+// returning the created request.
+func (s *Simulation) SubmitText(t float64, userID int, prompt string, allowed []string) *Request {
+	s.nextID++
+	r := &Request{
+		ID:            s.nextID,
+		UserID:        userID,
+		Tokens:        s.tok.Encode(prompt),
+		AllowedTokens: allowed,
+	}
+	s.SubmitAt(t, r)
+	return r
+}
+
+// SubmitDataset schedules an entire dataset with Poisson arrivals at the
+// given request rate.
+func (s *Simulation) SubmitDataset(d *Dataset, qps float64, seed int64) error {
+	arrivals, err := AssignPoissonArrivals(d, qps, seed)
+	if err != nil {
+		return err
+	}
+	for _, a := range arrivals {
+		a := a
+		s.sim.At(a.Time, func() { s.cluster.Submit(a.Req) })
+	}
+	return nil
+}
+
+// Run drains the event queue (serving every submitted request) and returns
+// the completion records in finish order.
+func (s *Simulation) Run() []Record {
+	s.sim.Run()
+	return s.records
+}
+
+// Records returns the completions so far.
+func (s *Simulation) Records() []Record { return s.records }
+
+// CacheHitRate aggregates prefix-cache hit rate across instances.
+func (s *Simulation) CacheHitRate() float64 {
+	var lookup, hit int64
+	for _, in := range s.cluster.Instances() {
+		if c := in.Cache(); c != nil {
+			st := c.Stats()
+			lookup += st.LookupTokens
+			hit += st.HitTokens
+		}
+	}
+	if lookup == 0 {
+		return 0
+	}
+	return float64(hit) / float64(lookup)
+}
