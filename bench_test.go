@@ -455,6 +455,26 @@ func BenchmarkAblationHostOffload(b *testing.B) {
 	}
 }
 
+// BenchmarkRoutingPolicies compares the cluster routing policies
+// (UserHash baseline, LeastLoaded, AffinityLoad) on Zipf-skewed and
+// uniform arrivals: 4 PrefillOnly instances on L4 near aggregate
+// saturation (the internal/router subsystem's headline comparison).
+func BenchmarkRoutingPolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RoutingSweep(1, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once("routing", func() {
+			fmt.Println("\n[Routing] policy comparison, 4x PrefillOnly on L4 (affinity: lower mean on skew, parity on uniform)")
+			for _, r := range rows {
+				fmt.Printf("  %-22s %-12s qps %6.2f  mean %6.3fs  p99 %6.3fs  hit %4.2f  balance %5.2f  rejected %d\n",
+					r.Dataset, r.Policy, r.QPS, r.MeanJCT, r.P99JCT, r.CacheHitRate, r.BalanceRatio, r.Rejected)
+			}
+		})
+	}
+}
+
 // BenchmarkEngineDispatchOverhead measures the raw per-request scheduling
 // cost of the PrefillOnly engine (hashing, pinning, calibration, insert) —
 // the engine-side CPU work per request, independent of modelled GPU time.

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	prefillbench -exp table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|sec2.3|sec6.3|all
+//	prefillbench -exp table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|sec2.3|sec6.3|routing|all
 //	             [-scenario L4|A100|H100|H100-NVLink] [-dataset post|credit]
 //	             [-seed N] [-small]
 //
@@ -63,11 +63,16 @@ func run(exp, scenario, dataset string, seed int64, small bool) error {
 		return sec23()
 	case "sec6.3":
 		return sec63()
+	case "routing":
+		return routing(seed, small)
 	case "all":
 		for _, e := range []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig10", "sec2.3", "sec6.3"} {
 			if err := run(e, scenario, dataset, seed, small); err != nil {
 				return err
 			}
+		}
+		if err := routing(seed, true); err != nil {
+			return err
 		}
 		return figQPS("fig6", scenario, dataset, seed, true)
 	default:
@@ -267,6 +272,20 @@ func fig11(seed int64) error {
 	fmt.Fprintln(w, "λ\tmean latency (s)\tp99 latency (s)")
 	for _, c := range curves {
 		fmt.Fprintf(w, "%.0f\t%.2f\t%.2f\n", c.Lambda, c.MeanLatency, c.P99Latency)
+	}
+	return w.Flush()
+}
+
+func routing(seed int64, small bool) error {
+	rows, err := experiments.RoutingSweep(seed, small)
+	if err != nil {
+		return err
+	}
+	w := header("Routing: policy comparison, 4x PrefillOnly on L4")
+	fmt.Fprintln(w, "dataset\tpolicy\tqps\tmean JCT (s)\tp99 (s)\thit rate\tbalance\trejected")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%.2f\t%.3f\t%.3f\t%.2f\t%.2f\t%d\n",
+			r.Dataset, r.Policy, r.QPS, r.MeanJCT, r.P99JCT, r.CacheHitRate, r.BalanceRatio, r.Rejected)
 	}
 	return w.Flush()
 }

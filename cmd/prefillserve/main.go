@@ -5,6 +5,7 @@
 //
 //	prefillserve [-addr :8080] [-model llama-3.1-8b] [-gpu l4]
 //	             [-max-input-len 20000] [-lambda 500] [-speedup 1000]
+//	             [-instances 1] [-routing affinity] [-max-backlog 0]
 //
 // Then:
 //
@@ -30,6 +31,9 @@ func main() {
 	maxLen := flag.Int("max-input-len", 20000, "profile-run maximum input length")
 	lambda := flag.Float64("lambda", 500, "fairness parameter λ")
 	speedup := flag.Float64("speedup", 1000, "simulated seconds per wall second")
+	instances := flag.Int("instances", 1, "engine instances (>1 routes by load and prefix affinity)")
+	routing := flag.String("routing", "affinity", "routing policy for -instances > 1 (userhash|leastloaded|affinity)")
+	maxBacklog := flag.Float64("max-backlog", 0, "admission bound in estimated backlog seconds (0 = unlimited)")
 	flag.Parse()
 
 	m, ok := prefillonly.Models()[*modelName]
@@ -40,19 +44,37 @@ func main() {
 	if !ok {
 		log.Fatalf("unknown gpu %q", *gpuName)
 	}
-	srv, err := prefillonly.NewServer(prefillonly.ServerConfig{
+	scfg := prefillonly.ServerConfig{
 		Model:       m,
 		GPU:         g,
 		MaxInputLen: *maxLen,
 		Lambda:      *lambda,
 		Speedup:     *speedup,
-	})
+		Instances:   *instances,
+	}
+	if *instances > 1 {
+		scfg.RoutingPolicy = *routing
+		scfg.MaxBacklogSeconds = *maxBacklog
+	} else {
+		// Reject explicitly-set routing flags rather than silently
+		// dropping them on a single-engine server.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "routing" || f.Name == "max-backlog" {
+				log.Fatalf("-%s requires -instances > 1", f.Name)
+			}
+		})
+	}
+	srv, err := prefillonly.NewServer(scfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
 	fmt.Printf("prefillserve: %s on %s, MIL profile %d tokens, λ=%g, speedup %gx\n",
 		m.Name, g.Name, *maxLen, *lambda, *speedup)
+	if *instances > 1 {
+		fmt.Printf("prefillserve: %d instances routed by %s policy (max backlog %gs)\n",
+			*instances, *routing, *maxBacklog)
+	}
 	fmt.Printf("prefillserve: listening on %s\n", *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

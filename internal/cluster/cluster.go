@@ -3,6 +3,9 @@
 // user goes to the same instance, and users are assigned to instances in
 // round-robin order of first appearance, so per-user prefix caches stay
 // local to one device.
+//
+// This is the paper's static baseline. For load- and prefix-affinity-aware
+// routing with admission control, use internal/router instead.
 package cluster
 
 import (
@@ -12,11 +15,19 @@ import (
 	"repro/internal/sched"
 )
 
+// DefaultMaxTrackedUsers bounds the per-user routing table so million-user
+// traffic cannot grow it without limit. When the bound is hit, the
+// longest-tracked user is forgotten (FIFO) and re-assigned round-robin on
+// its next request, sacrificing that user's prefix locality.
+const DefaultMaxTrackedUsers = 1 << 20
+
 // Cluster routes requests to a fixed set of engine instances.
 type Cluster struct {
 	instances []engine.Engine
 	byUser    map[int]int
+	order     []int // tracked user IDs in assignment order (FIFO eviction)
 	next      int
+	maxUsers  int
 }
 
 // New builds a cluster over the given instances.
@@ -29,7 +40,38 @@ func New(instances ...engine.Engine) (*Cluster, error) {
 			return nil, fmt.Errorf("cluster: instance %d is nil", i)
 		}
 	}
-	return &Cluster{instances: instances, byUser: make(map[int]int)}, nil
+	return &Cluster{
+		instances: instances,
+		byUser:    make(map[int]int),
+		maxUsers:  DefaultMaxTrackedUsers,
+	}, nil
+}
+
+// SetMaxTrackedUsers overrides the routing-table bound (default
+// DefaultMaxTrackedUsers). n must be positive.
+func (c *Cluster) SetMaxTrackedUsers(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("cluster: max tracked users must be positive, got %d", n)
+	}
+	c.maxUsers = n
+	for len(c.byUser) > c.maxUsers {
+		c.evictOldest()
+	}
+	return nil
+}
+
+// TrackedUsers returns the number of users currently held in the routing
+// table.
+func (c *Cluster) TrackedUsers() int { return len(c.byUser) }
+
+// evictOldest forgets the longest-tracked user.
+func (c *Cluster) evictOldest() {
+	if len(c.order) == 0 {
+		return
+	}
+	delete(c.byUser, c.order[0])
+	c.order[0] = 0
+	c.order = c.order[1:]
 }
 
 // Instances returns the cluster's engines.
@@ -45,14 +87,19 @@ func (c *Cluster) GPUs() int {
 }
 
 // Route returns the instance index a user's requests go to, assigning new
-// users round-robin.
+// users round-robin. The table is bounded: beyond the tracked-user cap the
+// oldest assignment is evicted first.
 func (c *Cluster) Route(userID int) int {
 	if idx, ok := c.byUser[userID]; ok {
 		return idx
 	}
+	if len(c.byUser) >= c.maxUsers {
+		c.evictOldest()
+	}
 	idx := c.next
 	c.next = (c.next + 1) % len(c.instances)
 	c.byUser[userID] = idx
+	c.order = append(c.order, userID)
 	return idx
 }
 

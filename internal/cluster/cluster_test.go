@@ -89,6 +89,54 @@ func TestSubmitRoutesByUser(t *testing.T) {
 	}
 }
 
+func TestTrackedUserBound(t *testing.T) {
+	var s sim.Sim
+	cfg := engine.Config{Model: model.Llama31_8B(), GPU: hw.L4(), Sim: &s, ProfileMaxLen: 2000}
+	e1, err := engine.NewPagedAttention(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := engine.NewPagedAttention(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(e1, e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetMaxTrackedUsers(0); err == nil {
+		t.Fatal("non-positive cap accepted")
+	}
+	if err := c.SetMaxTrackedUsers(3); err != nil {
+		t.Fatal(err)
+	}
+	// A million distinct users must never grow the table past the cap.
+	for u := 0; u < 1_000_000; u++ {
+		c.Route(u)
+		if c.TrackedUsers() > 3 {
+			t.Fatalf("tracked users %d exceeds cap after user %d", c.TrackedUsers(), u)
+		}
+	}
+	if c.TrackedUsers() != 3 {
+		t.Fatalf("tracked users = %d, want 3", c.TrackedUsers())
+	}
+	// The most recent users are still sticky.
+	last := 999_999
+	idx := c.Route(last)
+	for i := 0; i < 5; i++ {
+		if c.Route(last) != idx {
+			t.Fatal("recent user lost stickiness")
+		}
+	}
+	// Shrinking the cap evicts immediately.
+	if err := c.SetMaxTrackedUsers(1); err != nil {
+		t.Fatal(err)
+	}
+	if c.TrackedUsers() != 1 {
+		t.Fatalf("tracked users = %d after shrinking cap to 1", c.TrackedUsers())
+	}
+}
+
 func TestNewRejectsEmptyAndNil(t *testing.T) {
 	if _, err := New(); err == nil {
 		t.Error("empty cluster accepted")

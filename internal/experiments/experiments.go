@@ -14,9 +14,71 @@ import (
 	"repro/internal/hw"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
+
+// scheduleArrivals schedules a dataset onto the sim through submit:
+// Poisson arrivals at qps > 0, or closed-loop saturation (everything at
+// t=0) otherwise.
+func scheduleArrivals(s *sim.Sim, ds *workload.Dataset, qps float64, seed int64, submit func(*sched.Request)) error {
+	if qps > 0 {
+		arrivals, err := workload.AssignPoissonArrivals(ds, qps, seed)
+		if err != nil {
+			return err
+		}
+		for _, a := range arrivals {
+			a := a
+			s.At(a.Time, func() { submit(a.Req) })
+		}
+		return nil
+	}
+	for _, r := range ds.Requests {
+		r.ArrivalTime = 0
+	}
+	reqs := ds.Requests
+	s.At(0, func() {
+		for _, r := range reqs {
+			submit(r)
+		}
+	})
+	return nil
+}
+
+// latencyStats aggregates completion records: per-request latencies, their
+// summary, and throughput over the busy span (first arrival to last
+// finish).
+func latencyStats(recs []engine.Record) (lats []float64, sum metrics.Summary, tputRPS float64) {
+	firstArrival := math.Inf(1)
+	lastFinish := 0.0
+	for _, r := range recs {
+		lats = append(lats, r.Latency())
+		firstArrival = math.Min(firstArrival, r.Arrival)
+		lastFinish = math.Max(lastFinish, r.Finish)
+	}
+	sum = metrics.Summarize(lats)
+	if span := lastFinish - firstArrival; span > 0 && len(recs) > 0 {
+		tputRPS = float64(len(recs)) / span
+	}
+	return lats, sum, tputRPS
+}
+
+// clusterHitRate aggregates prefix-cache hit rate across engines.
+func clusterHitRate(engines []engine.Engine) float64 {
+	var lookup, hit int64
+	for _, e := range engines {
+		if c := e.Cache(); c != nil {
+			st := c.Stats()
+			lookup += st.LookupTokens
+			hit += st.HitTokens
+		}
+	}
+	if lookup == 0 {
+		return 0
+	}
+	return float64(hit) / float64(lookup)
+}
 
 // EngineKind enumerates the five systems of Figure 6.
 type EngineKind int
@@ -226,26 +288,8 @@ func Run(rc RunConfig) (*RunResult, error) {
 		return nil, err
 	}
 
-	if rc.QPS > 0 {
-		arrivals, err := workload.AssignPoissonArrivals(rc.Dataset, rc.QPS, rc.Seed)
-		if err != nil {
-			return nil, err
-		}
-		for _, a := range arrivals {
-			a := a
-			s.At(a.Time, func() { cl.Submit(a.Req) })
-		}
-	} else {
-		// Closed-loop saturation: everything at t=0.
-		for _, r := range rc.Dataset.Requests {
-			r.ArrivalTime = 0
-		}
-		reqs := rc.Dataset.Requests
-		s.At(0, func() {
-			for _, r := range reqs {
-				cl.Submit(r)
-			}
-		})
+	if err := scheduleArrivals(&s, rc.Dataset, rc.QPS, rc.Seed, cl.Submit); err != nil {
+		return nil, err
 	}
 	s.Run()
 
@@ -260,33 +304,15 @@ func Run(rc RunConfig) (*RunResult, error) {
 		Records:  recs,
 	}
 	res.Completed = len(recs)
-	firstArrival := math.Inf(1)
-	lastFinish := 0.0
+	res.Latencies, res.Latency, res.ThroughputRPS = latencyStats(recs)
 	infeasible := 0
 	for _, r := range recs {
-		res.Latencies = append(res.Latencies, r.Latency())
-		firstArrival = math.Min(firstArrival, r.Arrival)
-		lastFinish = math.Max(lastFinish, r.Finish)
 		if r.Infeasible() {
 			infeasible++
 		}
 	}
-	res.Latency = metrics.Summarize(res.Latencies)
-	if span := lastFinish - firstArrival; span > 0 {
-		res.ThroughputRPS = float64(len(recs)) / span
-	}
 	res.InfeasibleFrac = float64(infeasible) / float64(len(recs))
-	var lookup, hit int64
-	for _, in := range cl.Instances() {
-		if c := in.Cache(); c != nil {
-			st := c.Stats()
-			lookup += st.LookupTokens
-			hit += st.HitTokens
-		}
-	}
-	if lookup > 0 {
-		res.CacheHitRate = float64(hit) / float64(lookup)
-	}
+	res.CacheHitRate = clusterHitRate(cl.Instances())
 	return res, nil
 }
 

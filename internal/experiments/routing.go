@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/router"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// RoutingPolicyKind enumerates the routing policies the sweep compares.
+type RoutingPolicyKind int
+
+const (
+	// UserHashPolicy is the paper's fixed-instance baseline.
+	UserHashPolicy RoutingPolicyKind = iota
+	// LeastLoadedPolicy routes to the smallest estimated backlog.
+	LeastLoadedPolicy
+	// AffinityLoadPolicy is power-of-two-choices between the prefix-
+	// affinity home and the least-loaded instance.
+	AffinityLoadPolicy
+)
+
+// String returns the policy's display name.
+func (k RoutingPolicyKind) String() string { return k.Policy().Name() }
+
+// Policy constructs the router policy.
+func (k RoutingPolicyKind) Policy() router.Policy {
+	switch k {
+	case LeastLoadedPolicy:
+		return router.LeastLoaded{}
+	case AffinityLoadPolicy:
+		return router.AffinityLoad{}
+	default:
+		return router.UserHash{}
+	}
+}
+
+// AllRoutingPolicies returns the compared policies in sweep order.
+func AllRoutingPolicies() []RoutingPolicyKind {
+	return []RoutingPolicyKind{UserHashPolicy, LeastLoadedPolicy, AffinityLoadPolicy}
+}
+
+// RoutingRunConfig describes one routed serving run.
+type RoutingRunConfig struct {
+	Policy   RoutingPolicyKind
+	Scenario Scenario
+	// Dataset provides the requests; arrival times are overwritten.
+	Dataset *workload.Dataset
+	// QPS is the offered request rate; <= 0 means closed-loop (all at t=0).
+	QPS  float64
+	Seed int64
+	// Instances is the PrefillOnly instance count (default 4, one GPU each).
+	Instances int
+	// MaxBacklogSeconds enables admission control when positive.
+	MaxBacklogSeconds float64
+	// Lambda overrides PrefillOnly's fairness parameter (0 = default).
+	Lambda float64
+}
+
+// RoutingRunResult aggregates one routed run.
+type RoutingRunResult struct {
+	Policy    string
+	Dataset   string
+	QPS       float64
+	Completed int
+	Rejected  int
+	// Latency summarizes completed requests only.
+	Latency       metrics.Summary
+	ThroughputRPS float64
+	CacheHitRate  float64
+	// RoutedTokens is the cumulative tokens each instance received.
+	RoutedTokens []int64
+	// BalanceRatio is max/min per-instance routed tokens (+Inf when an
+	// instance received nothing) — the load-balance figure of merit.
+	BalanceRatio float64
+	// Admission is the policy's accept/reject tally.
+	Admission metrics.AdmissionCount
+}
+
+// RoutingRun executes one routed serving run to completion.
+func RoutingRun(rc RoutingRunConfig) (*RoutingRunResult, error) {
+	return RoutingRunPolicy(rc, rc.Policy.Policy())
+}
+
+// RoutingRunPolicy is RoutingRun with an arbitrary (possibly custom)
+// router policy; rc.Policy is ignored.
+func RoutingRunPolicy(rc RoutingRunConfig, pol router.Policy) (*RoutingRunResult, error) {
+	if rc.Dataset == nil {
+		return nil, fmt.Errorf("experiments: RoutingRunConfig.Dataset is required")
+	}
+	instances := rc.Instances
+	if instances <= 0 {
+		instances = 4
+	}
+	var s sim.Sim
+	var recs []engine.Record
+	var rt *router.Router
+	profLen := (rc.Dataset.MaxLen/1000 + 1) * 1000
+	cfg := engine.Config{
+		Model:         rc.Scenario.Model,
+		GPU:           rc.Scenario.GPU,
+		Sim:           &s,
+		ProfileMaxLen: profLen,
+		OnComplete: func(r engine.Record) {
+			if rt != nil {
+				rt.Completed(r)
+			}
+			recs = append(recs, r)
+		},
+	}
+	engines := make([]engine.Engine, instances)
+	for i := range engines {
+		e, err := core.New(cfg, core.Options{Lambda: rc.Lambda})
+		if err != nil {
+			return nil, err
+		}
+		engines[i] = e
+	}
+	admission := &metrics.Admission{}
+	rt, err := router.New(router.Config{
+		Policy:            pol,
+		MaxBacklogSeconds: rc.MaxBacklogSeconds,
+		Admission:         admission,
+	}, engines...)
+	if err != nil {
+		return nil, err
+	}
+
+	rejected := 0
+	var submitErr error
+	submit := func(r *sched.Request) {
+		err := rt.Submit(r)
+		if err == nil {
+			return
+		}
+		// Only admission sheds count as rejections; anything else (e.g.
+		// a custom policy picking an out-of-range instance) is a
+		// programming error that must fail the run, not masquerade as
+		// load shedding.
+		var rej *router.RejectError
+		if errors.As(err, &rej) {
+			rejected++
+		} else if submitErr == nil {
+			submitErr = err
+		}
+	}
+	if err := scheduleArrivals(&s, rc.Dataset, rc.QPS, rc.Seed, submit); err != nil {
+		return nil, err
+	}
+	s.Run()
+
+	if submitErr != nil {
+		return nil, submitErr
+	}
+	if len(recs)+rejected != len(rc.Dataset.Requests) {
+		return nil, fmt.Errorf("experiments: %d completed + %d rejected of %d requests",
+			len(recs), rejected, len(rc.Dataset.Requests))
+	}
+	res := &RoutingRunResult{
+		Policy:    pol.Name(),
+		Dataset:   rc.Dataset.Name,
+		QPS:       rc.QPS,
+		Completed: len(recs),
+		Rejected:  rejected,
+		Admission: admission.Policy(pol.Name()),
+	}
+	_, res.Latency, res.ThroughputRPS = latencyStats(recs)
+	res.CacheHitRate = clusterHitRate(engines)
+	minTok, maxTok := int64(math.MaxInt64), int64(0)
+	for _, l := range rt.Loads() {
+		res.RoutedTokens = append(res.RoutedTokens, l.RoutedTokens)
+		if l.RoutedTokens < minTok {
+			minTok = l.RoutedTokens
+		}
+		if l.RoutedTokens > maxTok {
+			maxTok = l.RoutedTokens
+		}
+	}
+	if minTok > 0 {
+		res.BalanceRatio = float64(maxTok) / float64(minTok)
+	} else {
+		res.BalanceRatio = math.Inf(1)
+	}
+	return res, nil
+}
+
+// RoutingSweepRow is one (policy, dataset) cell of the routing comparison.
+type RoutingSweepRow struct {
+	Policy        string
+	Dataset       string
+	QPS           float64
+	MeanJCT       float64
+	P99JCT        float64
+	ThroughputRPS float64
+	CacheHitRate  float64
+	BalanceRatio  float64
+	Completed     int
+	Rejected      int
+}
+
+// RoutingDatasets builds the sweep's two arrival patterns: the Zipf-skewed
+// user-popularity scenario (where routing policies differentiate) and the
+// paper's uniform post-recommendation workload. small scales both down for
+// tests and smoke benches.
+func RoutingDatasets(seed int64, small bool) []*workload.Dataset {
+	if small {
+		return []*workload.Dataset{
+			workload.Skewed(workload.SkewedConfig{
+				Users: 24, Requests: 96, ProfileMean: 3000, ProfileStd: 800,
+				ProfileMin: 1500, ProfileMax: 5000, Seed: seed,
+			}),
+			workload.PostRecommendation(workload.PostRecommendationConfig{
+				Users: 8, PostsPerUser: 12, Seed: seed,
+			}),
+		}
+	}
+	return []*workload.Dataset{
+		workload.Skewed(workload.SkewedConfig{Seed: seed}),
+		workload.PostRecommendation(workload.PostRecommendationConfig{Seed: seed}),
+	}
+}
+
+// RoutingSweep compares the three routing policies on skewed and uniform
+// arrivals: PrefillOnly instances on the L4 scenario, offered load chosen
+// near the cluster's aggregate saturation so queues form and routing
+// decisions matter.
+func RoutingSweep(seed int64, small bool) ([]RoutingSweepRow, error) {
+	sc, err := ScenarioByName("L4")
+	if err != nil {
+		return nil, err
+	}
+	const instances = 4
+	var rows []RoutingSweepRow
+	for _, ds := range RoutingDatasets(seed, small) {
+		// SaturationQPS measures the default two-instance cluster;
+		// scale to this sweep's instance count at ~90% utilization.
+		x, err := SaturationQPS(PrefillOnly, sc, ds)
+		if err != nil {
+			return nil, fmt.Errorf("routing saturation on %s: %w", ds.Name, err)
+		}
+		qps := x * instances / 2 * 0.9
+		for _, pol := range AllRoutingPolicies() {
+			res, err := RoutingRun(RoutingRunConfig{
+				Policy: pol, Scenario: sc, Dataset: ds,
+				QPS: qps, Seed: seed, Instances: instances,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("routing %v on %s: %w", pol, ds.Name, err)
+			}
+			rows = append(rows, RoutingSweepRow{
+				Policy:        res.Policy,
+				Dataset:       res.Dataset,
+				QPS:           res.QPS,
+				MeanJCT:       res.Latency.Mean,
+				P99JCT:        res.Latency.P99,
+				ThroughputRPS: res.ThroughputRPS,
+				CacheHitRate:  res.CacheHitRate,
+				BalanceRatio:  res.BalanceRatio,
+				Completed:     res.Completed,
+				Rejected:      res.Rejected,
+			})
+		}
+	}
+	return rows, nil
+}

@@ -210,6 +210,15 @@ func (m *Manager) PeekH(hashes []uint64) int {
 	return hit
 }
 
+// HasBlock reports whether the block with the given content hash is
+// cached, without refreshing LRU state or stats. Routers use it to merge
+// cache contents with their own in-flight bookkeeping when estimating
+// per-instance hit lengths.
+func (m *Manager) HasBlock(hash uint64) bool {
+	_, ok := m.blocks[hash]
+	return ok
+}
+
 // Reserve claims bytes of pool space for a request's execution-time KV
 // residency (conventional engines must hold the full fresh KV of a running
 // request in the pool). Colder unpinned blocks are evicted to make room.

@@ -1,0 +1,71 @@
+package metrics
+
+import "sync"
+
+// AdmissionCount is the accept/reject tally of one routing policy.
+type AdmissionCount struct {
+	Accepted int64
+	Rejected int64
+}
+
+// Total returns accepted + rejected.
+func (c AdmissionCount) Total() int64 { return c.Accepted + c.Rejected }
+
+// AcceptRate returns the fraction of decisions that admitted the request
+// (1 when no decisions have been recorded).
+func (c AdmissionCount) AcceptRate() float64 {
+	if c.Total() == 0 {
+		return 1
+	}
+	return float64(c.Accepted) / float64(c.Total())
+}
+
+// Admission tallies routing admission decisions per policy. The zero value
+// is ready to use. It is safe for concurrent use: the HTTP frontend routes
+// from multiple goroutines, while simulation routers are single-threaded.
+type Admission struct {
+	mu     sync.Mutex
+	counts map[string]AdmissionCount
+}
+
+// Accept records an admitted request under the given policy name.
+func (a *Admission) Accept(policy string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.counts == nil {
+		a.counts = make(map[string]AdmissionCount)
+	}
+	c := a.counts[policy]
+	c.Accepted++
+	a.counts[policy] = c
+}
+
+// Reject records a shed request under the given policy name.
+func (a *Admission) Reject(policy string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.counts == nil {
+		a.counts = make(map[string]AdmissionCount)
+	}
+	c := a.counts[policy]
+	c.Rejected++
+	a.counts[policy] = c
+}
+
+// Policy returns the tally of one policy.
+func (a *Admission) Policy(policy string) AdmissionCount {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.counts[policy]
+}
+
+// Snapshot returns a copy of every policy's tally.
+func (a *Admission) Snapshot() map[string]AdmissionCount {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]AdmissionCount, len(a.counts))
+	for k, v := range a.counts {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,364 @@
+// Package router is the cluster-scale serving frontend: it routes requests
+// across engine instances by live load and prefix-cache affinity, and sheds
+// load when an instance's backlog exceeds an admission bound.
+//
+// It supersedes internal/cluster's static §7.1 user-id round-robin. The
+// router tracks, per instance, the requests and tokens it has routed but
+// not yet seen complete, plus an estimated backlog in seconds computed with
+// the instance's JCT estimator (the same estimator PrefillOnly's calibrated
+// scheduler uses). Routing policies are pluggable behind the Policy
+// interface; see policy.go for the three built-ins the experiments compare
+// (UserHash, LeastLoaded, AffinityLoad).
+//
+// The router is not goroutine-safe: simulation drivers call it from
+// single-threaded event handlers, and the HTTP backend serializes access
+// under its own lock.
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/jct"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
+
+// Load is a snapshot of one instance's work as seen by the router.
+type Load struct {
+	// QueuedRequests is the requests routed to the instance that have not
+	// completed yet (waiting or executing).
+	QueuedRequests int
+	// QueuedTokens is the input tokens of those requests.
+	QueuedTokens int64
+	// BacklogSeconds is the estimated execution time of those requests,
+	// from the instance's JCT estimator at routing time.
+	BacklogSeconds float64
+	// RoutedRequests and RoutedTokens are cumulative totals since
+	// construction (never decremented); they measure routing balance.
+	RoutedRequests int64
+	RoutedTokens   int64
+}
+
+// RejectError is the typed error Submit returns when admission control
+// sheds a request: the chosen instance's projected completion wait
+// (backlog plus the request's own estimated execution) exceeds the bound.
+type RejectError struct {
+	// Policy is the routing policy that chose the instance.
+	Policy string
+	// Instance is the chosen instance index.
+	Instance int
+	// BacklogSeconds is the instance's estimated backlog at rejection.
+	BacklogSeconds float64
+	// EstimateSeconds is the request's own estimated execution time.
+	EstimateSeconds float64
+	// BoundSeconds is the configured admission bound.
+	BoundSeconds float64
+}
+
+// Error implements error.
+func (e *RejectError) Error() string {
+	return fmt.Sprintf("router: %s rejected request for instance %d: backlog %.3gs + est %.3gs exceeds bound %.3gs",
+		e.Policy, e.Instance, e.BacklogSeconds, e.EstimateSeconds, e.BoundSeconds)
+}
+
+// Config configures a Router.
+type Config struct {
+	// Policy picks the instance for each request (default AffinityLoad).
+	Policy Policy
+	// MaxBacklogSeconds enables admission control when positive: a request
+	// whose projected completion wait on the chosen instance (backlog +
+	// its own estimated execution) exceeds the bound is rejected with a
+	// *RejectError instead of queued.
+	MaxBacklogSeconds float64
+	// Admission receives per-policy accept/reject counts. When nil the
+	// router allocates its own tally (see Router.Admission).
+	Admission *metrics.Admission
+	// EstimatorFor overrides JCT estimator resolution per instance. When
+	// nil (or when it returns nil), the router uses the engine's own
+	// estimator if it exposes one, calibrates a cache-miss proxy from the
+	// engine's cost model if it exposes that, and otherwise falls back to
+	// a fixed per-token constant.
+	EstimatorFor func(e engine.Engine) jct.Estimator
+}
+
+// fallbackSecondsPerToken prices backlog for engines that expose neither an
+// estimator nor a cost model. Instances behind one router are homogeneous,
+// so only the relative magnitude matters for routing decisions.
+const fallbackSecondsPerToken = 1e-4
+
+// estimatorProbeLen is the cold-run length used to calibrate a proxy
+// estimator from an engine's cost model.
+const estimatorProbeLen = 4096
+
+type instanceState struct {
+	eng  engine.Engine
+	est  jct.Estimator
+	load Load
+	// pendingBlocks refcounts the block hashes of routed, not-yet-
+	// completed requests. Merged into hit estimation so that concurrent
+	// requests sharing a prefix are attracted to the instance already
+	// computing it, instead of stampeding the same prefix onto several
+	// instances before the first one caches it.
+	pendingBlocks map[uint64]int
+}
+
+// pending is the bookkeeping of one routed, not-yet-completed request.
+type pending struct {
+	instance int
+	tokens   int64
+	seconds  float64
+	hashes   []uint64
+}
+
+// Router routes requests across a fixed set of engine instances.
+type Router struct {
+	cfg       Config
+	instances []*instanceState
+	inflight  map[int64]pending
+	admission *metrics.Admission
+}
+
+// estimatorEngine is satisfied by engines that expose a calibrated JCT
+// estimator (core.Engine does).
+type estimatorEngine interface {
+	Estimator() jct.Estimator
+}
+
+// executorEngine is satisfied by engines that expose their cost model
+// (engine.Serial does); the router calibrates a cache-miss proxy from it.
+type executorEngine interface {
+	Executor() *graph.Executor
+	Options() graph.Options
+}
+
+// New builds a router over the given instances.
+func New(cfg Config, instances ...engine.Engine) (*Router, error) {
+	if len(instances) == 0 {
+		return nil, fmt.Errorf("router: need at least one instance")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = AffinityLoad{}
+	}
+	if cfg.MaxBacklogSeconds < 0 {
+		return nil, fmt.Errorf("router: MaxBacklogSeconds must be non-negative, got %g", cfg.MaxBacklogSeconds)
+	}
+	admission := cfg.Admission
+	if admission == nil {
+		admission = &metrics.Admission{}
+	}
+	rt := &Router{
+		cfg:       cfg,
+		inflight:  make(map[int64]pending),
+		admission: admission,
+	}
+	for i, e := range instances {
+		if e == nil {
+			return nil, fmt.Errorf("router: instance %d is nil", i)
+		}
+		rt.instances = append(rt.instances, &instanceState{
+			eng:           e,
+			est:           resolveEstimator(cfg, e),
+			pendingBlocks: make(map[uint64]int),
+		})
+	}
+	return rt, nil
+}
+
+// resolveEstimator picks the JCT estimator used to price an instance's
+// backlog, preferring the engine's own calibrated estimator.
+func resolveEstimator(cfg Config, e engine.Engine) jct.Estimator {
+	if cfg.EstimatorFor != nil {
+		if est := cfg.EstimatorFor(e); est != nil {
+			return est
+		}
+	}
+	if ee, ok := e.(estimatorEngine); ok {
+		if est := ee.Estimator(); est != nil {
+			return est
+		}
+	}
+	if xe, ok := e.(executorEngine); ok {
+		measure := func(nInput, nCached int) (float64, error) {
+			return xe.Executor().EstimateSeconds(graph.PassSpec{Total: nInput, Cached: nCached}, xe.Options())
+		}
+		if p, err := jct.CalibrateProxy(measure, estimatorProbeLen); err == nil {
+			return p
+		}
+	}
+	return &jct.Proxy{SecondsPerMissToken: fallbackSecondsPerToken}
+}
+
+// Instances returns the routed engines.
+func (rt *Router) Instances() []engine.Engine {
+	out := make([]engine.Engine, len(rt.instances))
+	for i, st := range rt.instances {
+		out[i] = st.eng
+	}
+	return out
+}
+
+// GPUs returns the total GPUs occupied by the routed instances.
+func (rt *Router) GPUs() int {
+	n := 0
+	for _, st := range rt.instances {
+		n += st.eng.GPUs()
+	}
+	return n
+}
+
+// Policy returns the active routing policy.
+func (rt *Router) Policy() Policy { return rt.cfg.Policy }
+
+// Admission returns the router's accept/reject tally.
+func (rt *Router) Admission() *metrics.Admission { return rt.admission }
+
+// Loads returns a snapshot of every instance's load.
+func (rt *Router) Loads() []Load {
+	out := make([]Load, len(rt.instances))
+	for i, st := range rt.instances {
+		out[i] = st.load
+	}
+	return out
+}
+
+// InFlight returns the number of routed requests not yet completed.
+func (rt *Router) InFlight() int { return len(rt.inflight) }
+
+// estSeconds prices a request on instance i: the instance estimator
+// evaluated at the request's current prefix-cache hit length there
+// (peeked, so routing sweeps do not disturb LRU order).
+func (rt *Router) estSeconds(i int, r *sched.Request, hit int) float64 {
+	if hit > r.Len() {
+		hit = r.Len()
+	}
+	return rt.instances[i].est.Estimate(r.Len(), hit)
+}
+
+// hitTokens estimates the request's prefix-cache hit length on instance i
+// without touching LRU order or hit-rate statistics. A block counts as hit
+// when it is cached or when a request already routed to the instance is
+// about to cache it (pending), so the estimate reflects the near future
+// rather than stampeding shared prefixes across instances.
+func (rt *Router) hitTokens(i int, r *sched.Request) int {
+	st := rt.instances[i]
+	c := st.eng.Cache()
+	if c == nil {
+		return 0
+	}
+	hit := 0
+	for _, h := range engine.HashesOf(r, c.BlockTokens()) {
+		if !c.HasBlock(h) && st.pendingBlocks[h] == 0 {
+			break
+		}
+		hit += c.BlockTokens()
+	}
+	if hit > r.Len() {
+		hit = r.Len()
+	}
+	return hit
+}
+
+// view adapts the router to the Policy View interface, memoizing the
+// per-instance hit walk for the request being routed: AffinityLoad scans
+// every instance and then re-scores two finalists, and Submit's admission
+// check needs the chosen instance's hit again — each would otherwise
+// re-walk the prompt's block chain (hundreds of map lookups on long
+// prompts) on the routing hot path.
+type view struct {
+	rt   *Router
+	r    *sched.Request
+	hits []int // per-instance hit, -1 = not yet computed
+}
+
+func (rt *Router) newView(r *sched.Request) *view {
+	hits := make([]int, len(rt.instances))
+	for i := range hits {
+		hits[i] = -1
+	}
+	return &view{rt: rt, r: r, hits: hits}
+}
+
+func (v *view) Instances() int  { return len(v.rt.instances) }
+func (v *view) Load(i int) Load { return v.rt.instances[i].load }
+func (v *view) HitTokens(i int, r *sched.Request) int {
+	if r != v.r {
+		return v.rt.hitTokens(i, r)
+	}
+	if v.hits[i] < 0 {
+		v.hits[i] = v.rt.hitTokens(i, r)
+	}
+	return v.hits[i]
+}
+func (v *view) EstSeconds(i int, r *sched.Request, hit int) float64 {
+	return v.rt.estSeconds(i, r, hit)
+}
+
+// Submit routes a request: the policy picks an instance, admission control
+// accepts or sheds, and the request is handed to the instance's engine.
+// A shed request is returned as a *RejectError and never enqueued.
+func (rt *Router) Submit(r *sched.Request) error {
+	// IDs are caller-assigned and key the load accounting: a duplicate
+	// would overwrite the pending entry and leak load forever.
+	if _, dup := rt.inflight[r.ID]; dup {
+		return fmt.Errorf("router: request ID %d is already in flight", r.ID)
+	}
+	v := rt.newView(r)
+	idx := rt.cfg.Policy.Pick(r, v)
+	if idx < 0 || idx >= len(rt.instances) {
+		return fmt.Errorf("router: policy %s picked out-of-range instance %d of %d",
+			rt.cfg.Policy.Name(), idx, len(rt.instances))
+	}
+	st := rt.instances[idx]
+	est := rt.estSeconds(idx, r, v.HitTokens(idx, r))
+	if bound := rt.cfg.MaxBacklogSeconds; bound > 0 && st.load.BacklogSeconds+est > bound {
+		rt.admission.Reject(rt.cfg.Policy.Name())
+		return &RejectError{
+			Policy:          rt.cfg.Policy.Name(),
+			Instance:        idx,
+			BacklogSeconds:  st.load.BacklogSeconds,
+			EstimateSeconds: est,
+			BoundSeconds:    bound,
+		}
+	}
+	rt.admission.Accept(rt.cfg.Policy.Name())
+	var hashes []uint64
+	if c := st.eng.Cache(); c != nil {
+		hashes = engine.HashesOf(r, c.BlockTokens())
+		for _, h := range hashes {
+			st.pendingBlocks[h]++
+		}
+	}
+	rt.inflight[r.ID] = pending{instance: idx, tokens: int64(r.Len()), seconds: est, hashes: hashes}
+	st.load.QueuedRequests++
+	st.load.QueuedTokens += int64(r.Len())
+	st.load.BacklogSeconds += est
+	st.load.RoutedRequests++
+	st.load.RoutedTokens += int64(r.Len())
+	st.eng.Submit(r)
+	return nil
+}
+
+// Completed releases a routed request's load accounting. Chain it into the
+// engines' OnComplete sink; records for requests the router did not route
+// are ignored.
+func (rt *Router) Completed(rec engine.Record) {
+	p, ok := rt.inflight[rec.Req.ID]
+	if !ok {
+		return
+	}
+	delete(rt.inflight, rec.Req.ID)
+	st := rt.instances[p.instance]
+	st.load.QueuedRequests--
+	st.load.QueuedTokens -= p.tokens
+	st.load.BacklogSeconds -= p.seconds
+	if st.load.BacklogSeconds < 1e-12 {
+		st.load.BacklogSeconds = 0
+	}
+	for _, h := range p.hashes {
+		if st.pendingBlocks[h]--; st.pendingBlocks[h] <= 0 {
+			delete(st.pendingBlocks, h)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/router"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/tokenizer"
@@ -42,13 +43,30 @@ type Backend struct {
 
 	mu      sync.Mutex
 	sim     *sim.Sim
-	eng     *core.Engine
+	engines []*core.Engine
+	rt      *router.Router // nil in single-engine mode
 	started time.Time
 	nextID  int64
 	waiters map[int64]chan Result
 	closed  bool
 	wake    chan struct{}
 	done    chan struct{}
+}
+
+// newBackendBase builds the engine-independent backend shell.
+func newBackendBase(speedup float64) *Backend {
+	if speedup <= 0 {
+		speedup = 1000
+	}
+	return &Backend{
+		Tokenizer: tokenizer.New(),
+		Speedup:   speedup,
+		sim:       &sim.Sim{},
+		started:   time.Now(),
+		waiters:   make(map[int64]chan Result),
+		wake:      make(chan struct{}, 1),
+		done:      make(chan struct{}),
+	}
 }
 
 // NewBackend builds a backend around a PrefillOnly engine created with the
@@ -58,31 +76,63 @@ func NewBackend(cfg engine.Config, opts core.Options, speedup float64) (*Backend
 	if cfg.Sim != nil || cfg.OnComplete != nil {
 		return nil, fmt.Errorf("server: Sim and OnComplete are owned by the backend")
 	}
-	if speedup <= 0 {
-		speedup = 1000
-	}
-	b := &Backend{
-		Tokenizer: tokenizer.New(),
-		Speedup:   speedup,
-		sim:       &sim.Sim{},
-		started:   time.Now(),
-		waiters:   make(map[int64]chan Result),
-		wake:      make(chan struct{}, 1),
-		done:      make(chan struct{}),
-	}
+	b := newBackendBase(speedup)
 	cfg.Sim = b.sim
 	cfg.OnComplete = b.onComplete
 	eng, err := core.New(cfg, opts)
 	if err != nil {
 		return nil, err
 	}
-	b.eng = eng
+	b.engines = []*core.Engine{eng}
 	go b.loop()
 	return b, nil
 }
 
-// Engine exposes the wrapped PrefillOnly engine (read-only use).
-func (b *Backend) Engine() *core.Engine { return b.eng }
+// NewRoutedBackend builds a backend over a routed cluster of `instances`
+// identical PrefillOnly engines: requests route by live load and
+// prefix-cache affinity through internal/router instead of binding to a
+// single engine, and rcfg's admission bound sheds a request with a
+// *router.RejectError when the instance the policy picked for it is
+// backlogged past the bound (load-aware policies only pick a backlogged
+// instance when every alternative is worse). cfg.Sim and cfg.OnComplete
+// must be unset; the backend owns them.
+func NewRoutedBackend(cfg engine.Config, opts core.Options, speedup float64, instances int, rcfg router.Config) (*Backend, error) {
+	if cfg.Sim != nil || cfg.OnComplete != nil {
+		return nil, fmt.Errorf("server: Sim and OnComplete are owned by the backend")
+	}
+	if instances <= 0 {
+		return nil, fmt.Errorf("server: need at least one instance, got %d", instances)
+	}
+	b := newBackendBase(speedup)
+	cfg.Sim = b.sim
+	cfg.OnComplete = b.onComplete
+	engines := make([]engine.Engine, instances)
+	for i := range engines {
+		eng, err := core.New(cfg, opts)
+		if err != nil {
+			return nil, err
+		}
+		b.engines = append(b.engines, eng)
+		engines[i] = eng
+	}
+	rt, err := router.New(rcfg, engines...)
+	if err != nil {
+		return nil, err
+	}
+	b.rt = rt
+	go b.loop()
+	return b, nil
+}
+
+// Engine exposes the first PrefillOnly engine (read-only use; the only
+// engine in single-engine mode).
+func (b *Backend) Engine() *core.Engine { return b.engines[0] }
+
+// Engines exposes every instance (read-only use).
+func (b *Backend) Engines() []*core.Engine { return b.engines }
+
+// Router exposes the routing frontend (nil in single-engine mode).
+func (b *Backend) Router() *router.Router { return b.rt }
 
 // simNow maps wall time to simulated seconds.
 func (b *Backend) simNow() float64 {
@@ -91,6 +141,9 @@ func (b *Backend) simNow() float64 {
 
 // onComplete runs inside sim event handlers (loop holds the lock).
 func (b *Backend) onComplete(rec engine.Record) {
+	if b.rt != nil {
+		b.rt.Completed(rec)
+	}
 	ch, ok := b.waiters[rec.Req.ID]
 	if !ok {
 		return
@@ -169,7 +222,15 @@ func (b *Backend) Submit(prompt string, allowed []string, userID int) (Result, e
 		AllowedTokens: allowed,
 	}
 	b.waiters[id] = ch
-	b.eng.Submit(r)
+	if b.rt != nil {
+		if err := b.rt.Submit(r); err != nil {
+			delete(b.waiters, id)
+			b.mu.Unlock()
+			return Result{}, fmt.Errorf("server: %w", err)
+		}
+	} else {
+		b.engines[0].Submit(r)
+	}
 	b.mu.Unlock()
 
 	select {

@@ -2,9 +2,12 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+
+	"repro/internal/router"
 )
 
 // CompletionRequest is the accepted subset of the OpenAI completions API,
@@ -116,6 +119,12 @@ func (h *Handler) completions(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := h.Backend.Submit(req.Prompt, req.AllowedTokens, userID)
 	if err != nil {
+		// Admission-control sheds are the client's signal to back off.
+		var rej *router.RejectError
+		if errors.As(err, &rej) {
+			writeJSON(w, http.StatusTooManyRequests, apiError{err.Error()})
+			return
+		}
 		writeJSON(w, http.StatusServiceUnavailable, apiError{err.Error()})
 		return
 	}

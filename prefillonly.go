@@ -89,6 +89,10 @@ type PostRecommendationConfig = workload.PostRecommendationConfig
 // values take the paper's Table-1 numbers.
 type CreditVerificationConfig = workload.CreditVerificationConfig
 
+// SkewedConfig parameterizes NewSkewed, the Zipf user-popularity scenario
+// for routing experiments.
+type SkewedConfig = workload.SkewedConfig
+
 // NewPostRecommendation generates the paper's post-recommendation dataset
 // (20 users × 50 posts over 11k–17k-token profiles).
 func NewPostRecommendation(cfg PostRecommendationConfig) *Dataset {
@@ -99,6 +103,13 @@ func NewPostRecommendation(cfg PostRecommendationConfig) *Dataset {
 // (60 users × one 40k–60k-token history).
 func NewCreditVerification(cfg CreditVerificationConfig) *Dataset {
 	return workload.CreditVerification(cfg)
+}
+
+// NewSkewed generates the Zipf-skewed user-popularity dataset: a few hot
+// users dominate traffic, which is what differentiates routing policies
+// (see SimulationConfig.RoutingPolicy).
+func NewSkewed(cfg SkewedConfig) *Dataset {
+	return workload.Skewed(cfg)
 }
 
 // AssignPoissonArrivals stamps the paper's §7.1 arrival pattern onto a

@@ -44,6 +44,55 @@ func TestSimulationAllEngines(t *testing.T) {
 	}
 }
 
+func TestSimulationRoutedCluster(t *testing.T) {
+	for _, policy := range []string{"userhash", "leastloaded", "affinity"} {
+		s, err := NewSimulation(SimulationConfig{GPUs: 4, MaxInputLen: 9000, RoutingPolicy: policy})
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if s.Router() == nil {
+			t.Fatalf("%s: no router", policy)
+		}
+		ds := NewSkewed(SkewedConfig{Users: 12, Requests: 48, ProfileMean: 2000,
+			ProfileStd: 500, ProfileMin: 1000, ProfileMax: 3000, Seed: 2})
+		if err := s.SubmitDataset(ds, 20, 1); err != nil {
+			t.Fatal(err)
+		}
+		recs := s.Run()
+		if len(recs) != 48 {
+			t.Fatalf("%s completed %d, want 48", policy, len(recs))
+		}
+		if s.Rejected() != 0 {
+			t.Fatalf("%s rejected %d without an admission bound", policy, s.Rejected())
+		}
+	}
+	// Admission control: a tight bound on the same load sheds requests.
+	s, err := NewSimulation(SimulationConfig{GPUs: 2, MaxInputLen: 9000,
+		RoutingPolicy: "leastloaded", MaxBacklogSeconds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := NewSkewed(SkewedConfig{Users: 12, Requests: 48, ProfileMean: 2000,
+		ProfileStd: 500, ProfileMin: 1000, ProfileMax: 3000, Seed: 2})
+	if err := s.SubmitDataset(ds, 200, 1); err != nil {
+		t.Fatal(err)
+	}
+	recs := s.Run()
+	if s.Rejected() == 0 {
+		t.Fatal("tight admission bound rejected nothing at 200 qps")
+	}
+	if len(recs)+s.Rejected() != 48 {
+		t.Fatalf("completed %d + rejected %d != 48", len(recs), s.Rejected())
+	}
+	// An admission bound without a routing policy is a config error.
+	if _, err := NewSimulation(SimulationConfig{MaxBacklogSeconds: 1}); err == nil {
+		t.Fatal("MaxBacklogSeconds without RoutingPolicy accepted")
+	}
+	if _, err := NewSimulation(SimulationConfig{RoutingPolicy: "bogus"}); err == nil {
+		t.Fatal("unknown routing policy accepted")
+	}
+}
+
 func TestSimulationDataset(t *testing.T) {
 	s, err := NewSimulation(SimulationConfig{MaxInputLen: 18000})
 	if err != nil {

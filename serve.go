@@ -1,10 +1,12 @@
 package prefillonly
 
 import (
+	"fmt"
 	"net/http"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/router"
 	"repro/internal/server"
 )
 
@@ -26,6 +28,17 @@ type ServerConfig struct {
 	// ModelName is the name reported by /v1/models (defaults to the
 	// model config's name).
 	ModelName string
+	// Instances is the engine instance count (default 1). With more than
+	// one, requests route by live load and prefix-cache affinity through
+	// internal/router.
+	Instances int
+	// RoutingPolicy selects the multi-instance routing policy: "userhash",
+	// "leastloaded" or "affinity" (default). Requires Instances > 1.
+	RoutingPolicy string
+	// MaxBacklogSeconds enables admission control in routed mode: requests
+	// whose projected completion wait exceeds the bound are answered with
+	// HTTP 429. Requires Instances > 1.
+	MaxBacklogSeconds float64
 }
 
 // Server is the OpenAI-compatible serving frontend over a PrefillOnly
@@ -52,11 +65,33 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.ModelName == "" {
 		cfg.ModelName = cfg.Model.Name
 	}
-	b, err := server.NewBackend(engine.Config{
+	ecfg := engine.Config{
 		Model:         cfg.Model,
 		GPU:           cfg.GPU,
 		ProfileMaxLen: cfg.MaxInputLen,
-	}, core.Options{Lambda: cfg.Lambda}, cfg.Speedup)
+	}
+	opts := core.Options{Lambda: cfg.Lambda}
+	var b *server.Backend
+	var err error
+	if cfg.Instances <= 1 && (cfg.RoutingPolicy != "" || cfg.MaxBacklogSeconds != 0) {
+		return nil, fmt.Errorf("prefillonly: RoutingPolicy and MaxBacklogSeconds require Instances > 1")
+	}
+	if cfg.Instances > 1 {
+		// A nil Policy lets router.New apply its default (AffinityLoad).
+		var pol router.Policy
+		if cfg.RoutingPolicy != "" {
+			pol, err = router.PolicyByName(cfg.RoutingPolicy)
+			if err != nil {
+				return nil, err
+			}
+		}
+		b, err = server.NewRoutedBackend(ecfg, opts, cfg.Speedup, cfg.Instances, router.Config{
+			Policy:            pol,
+			MaxBacklogSeconds: cfg.MaxBacklogSeconds,
+		})
+	} else {
+		b, err = server.NewBackend(ecfg, opts, cfg.Speedup)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,11 +1,13 @@
 package prefillonly
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/router"
 	"repro/internal/sim"
 	"repro/internal/tokenizer"
 )
@@ -52,16 +54,28 @@ type SimulationConfig struct {
 	// the host link when that beats recomputation (0 = discard, the
 	// paper's default).
 	HostCacheBytes int64
+	// RoutingPolicy selects the cluster frontend. Empty keeps the paper's
+	// §7.1 first-appearance round-robin (internal/cluster); "userhash",
+	// "leastloaded" or "affinity" route through internal/router by live
+	// load and prefix-cache affinity.
+	RoutingPolicy string
+	// MaxBacklogSeconds enables admission control in routed mode: requests
+	// whose projected completion wait exceeds the bound are rejected and
+	// counted (see Rejected) instead of queued. Requires RoutingPolicy.
+	MaxBacklogSeconds float64
 }
 
 // Simulation is a deterministic serving cluster on a virtual clock.
 type Simulation struct {
-	cfg     SimulationConfig
-	sim     *sim.Sim
-	cluster *cluster.Cluster
-	tok     *tokenizer.Tokenizer
-	records []Record
-	nextID  int64
+	cfg       SimulationConfig
+	sim       *sim.Sim
+	cluster   *cluster.Cluster // legacy §7.1 routing ("" policy)
+	router    *router.Router   // load/affinity routing (non-empty policy)
+	instances []engine.Engine
+	tok       *tokenizer.Tokenizer
+	records   []Record
+	rejected  int
+	nextID    int64
 }
 
 // NewSimulation builds the cluster (running each engine's profile run and
@@ -85,6 +99,17 @@ func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
 	if cfg.MaxInputLen == 0 {
 		cfg.MaxInputLen = 20000
 	}
+	// Validate routing config before the engines' expensive profile runs.
+	var pol router.Policy
+	if cfg.RoutingPolicy != "" {
+		var err error
+		pol, err = router.PolicyByName(cfg.RoutingPolicy)
+		if err != nil {
+			return nil, err
+		}
+	} else if cfg.MaxBacklogSeconds != 0 {
+		return nil, fmt.Errorf("prefillonly: MaxBacklogSeconds requires a RoutingPolicy")
+	}
 	s := &Simulation{cfg: cfg, sim: &sim.Sim{}, tok: tokenizer.New()}
 
 	ecfg := engine.Config{
@@ -93,7 +118,12 @@ func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
 		Sim:            s.sim,
 		ProfileMaxLen:  cfg.MaxInputLen,
 		HostCacheBytes: cfg.HostCacheBytes,
-		OnComplete:     func(r Record) { s.records = append(s.records, r) },
+		OnComplete: func(r Record) {
+			if s.router != nil {
+				s.router.Completed(r)
+			}
+			s.records = append(s.records, r)
+		},
 	}
 	var instances []engine.Engine
 	mk := func() (engine.Engine, error) {
@@ -127,6 +157,18 @@ func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
 		}
 		instances = append(instances, e)
 	}
+	s.instances = instances
+	if pol != nil {
+		rt, err := router.New(router.Config{
+			Policy:            pol,
+			MaxBacklogSeconds: cfg.MaxBacklogSeconds,
+		}, instances...)
+		if err != nil {
+			return nil, err
+		}
+		s.router = rt
+		return s, nil
+	}
 	cl, err := cluster.New(instances...)
 	if err != nil {
 		return nil, err
@@ -135,13 +177,31 @@ func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
 	return s, nil
 }
 
+// submit routes one request through the active frontend, counting
+// admission-control sheds in routed mode. Any other routing failure is a
+// programming error (e.g. a policy picking an out-of-range instance) and
+// fails loudly rather than being miscounted as load shedding.
+func (s *Simulation) submit(r *Request) {
+	if s.router != nil {
+		if err := s.router.Submit(r); err != nil {
+			var rej *router.RejectError
+			if !errors.As(err, &rej) {
+				panic(fmt.Sprintf("prefillonly: routing request %d: %v", r.ID, err))
+			}
+			s.rejected++
+		}
+		return
+	}
+	s.cluster.Submit(r)
+}
+
 // Now returns the current simulated time in seconds.
 func (s *Simulation) Now() float64 { return s.sim.Now() }
 
 // SubmitAt schedules a request's arrival at absolute simulated time t.
 func (s *Simulation) SubmitAt(t float64, r *Request) {
 	r.ArrivalTime = t
-	s.sim.At(t, func() { s.cluster.Submit(r) })
+	s.sim.At(t, func() { s.submit(r) })
 }
 
 // SubmitText tokenizes a prompt and schedules its arrival at time t,
@@ -167,7 +227,7 @@ func (s *Simulation) SubmitDataset(d *Dataset, qps float64, seed int64) error {
 	}
 	for _, a := range arrivals {
 		a := a
-		s.sim.At(a.Time, func() { s.cluster.Submit(a.Req) })
+		s.sim.At(a.Time, func() { s.submit(a.Req) })
 	}
 	return nil
 }
@@ -182,10 +242,18 @@ func (s *Simulation) Run() []Record {
 // Records returns the completions so far.
 func (s *Simulation) Records() []Record { return s.records }
 
+// Rejected returns the requests shed by admission control so far (always 0
+// without a RoutingPolicy and MaxBacklogSeconds).
+func (s *Simulation) Rejected() int { return s.rejected }
+
+// Router returns the routing frontend (nil when the legacy §7.1 cluster is
+// active).
+func (s *Simulation) Router() *router.Router { return s.router }
+
 // CacheHitRate aggregates prefix-cache hit rate across instances.
 func (s *Simulation) CacheHitRate() float64 {
 	var lookup, hit int64
-	for _, in := range s.cluster.Instances() {
+	for _, in := range s.instances {
 		if c := in.Cache(); c != nil {
 			st := c.Stats()
 			lookup += st.LookupTokens
