@@ -141,7 +141,13 @@ func New(cfg engine.Config, opts Options) (*Engine, error) {
 	if opts.DisableCalibration {
 		scheduler = sched.NewSRJF(jctNow)
 	} else {
-		scheduler = sched.NewCalibrated(jctNow, opts.lambda())
+		// Incremental Algorithm 1: index waiting requests by their prefix
+		// hash chains and rekey only those whose chains overlap a cache
+		// membership change, instead of re-pricing the whole queue every
+		// dispatch.
+		cal := sched.NewCalibrated(jctNow, opts.lambda())
+		engine.AttachIncremental(cal, serial.Cache())
+		scheduler = cal
 	}
 	if err := engine.ReplaceScheduler(serial, scheduler); err != nil {
 		return nil, err

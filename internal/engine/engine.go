@@ -110,7 +110,9 @@ func (c *Config) emit(rec Record) {
 }
 
 // HashesOf returns (computing lazily) the request's prefix-cache hash
-// chain for the given block size, memoized on the request.
+// chain for the given block size, memoized on the request. It is the
+// single hash-chain entry point: engines, routers and schedulers all go
+// through it so a request is hashed at most once per block size.
 func HashesOf(r *sched.Request, blockTokens int) []uint64 {
 	if r.BlockHashes == nil || r.HashBlockTokens != blockTokens {
 		r.BlockHashes = kvcache.BlockHashes(r.Tokens, blockTokens)
@@ -119,8 +121,18 @@ func HashesOf(r *sched.Request, blockTokens int) []uint64 {
 	return r.BlockHashes
 }
 
-// hashesOf is the internal alias of HashesOf.
-func hashesOf(r *sched.Request, blockTokens int) []uint64 { return HashesOf(r, blockTokens) }
+// AttachIncremental switches a Calibrated scheduler into incremental mode
+// against the cache its JCT function consults: waiting requests are
+// indexed by their (memoized) prefix hash chains at the cache's block
+// size, and the cache's membership-change feed rekeys only the affected
+// entries. Wiring both halves here makes it impossible to index requests
+// without also subscribing to the events that keep their keys fresh.
+// Call it before any request is enqueued.
+func AttachIncremental(c *sched.Calibrated, m *kvcache.Manager) {
+	bt := m.BlockTokens()
+	c.SetHashChain(func(r *sched.Request) []uint64 { return HashesOf(r, bt) })
+	m.Subscribe(func(ev kvcache.ChangeEvent) { c.OnCacheChange(ev.Inserted, ev.Evicted) })
+}
 
 // profile captures the outcome of an engine's §3.1-style profile run on
 // one device's model share.

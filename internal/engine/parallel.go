@@ -35,14 +35,9 @@ const ppStageImbalance = 1.10
 // halves per-GPU compute and memory at the cost of communication that is
 // serialized with compute (§2.5, §5.2).
 type TensorParallel struct {
-	name      string
-	cfg       Config
 	sim       *sim.Sim
-	exec      *graph.Executor // per-GPU (sharded) cost model
-	opts      graph.Options
 	scheduler sched.Scheduler
-	cache     *kvcache.Manager
-	prof      profile
+	lc        lifecycle
 	busy      bool
 }
 
@@ -71,25 +66,29 @@ func NewTensorParallel(cfg Config) (*TensorParallel, error) {
 		return nil, err
 	}
 	return &TensorParallel{
-		name:      "tensor-parallel",
-		cfg:       cfg,
 		sim:       cfg.Sim,
-		exec:      exec,
-		opts:      opts,
 		scheduler: sched.NewFIFO(),
-		cache:     cache,
-		prof:      prof,
+		lc: lifecycle{
+			name:       "tensor-parallel",
+			cfg:        cfg,
+			exec:       exec,
+			opts:       opts,
+			cache:      cache,
+			prof:       prof,
+			residentKV: true,
+			spillGPUs:  2, // both GPUs overflow their share
+		},
 	}, nil
 }
 
 // Name implements Engine.
-func (t *TensorParallel) Name() string { return t.name }
+func (t *TensorParallel) Name() string { return t.lc.name }
 
 // GPUs implements Engine.
 func (t *TensorParallel) GPUs() int { return 2 }
 
 // Cache implements Engine.
-func (t *TensorParallel) Cache() *kvcache.Manager { return t.cache }
+func (t *TensorParallel) Cache() *kvcache.Manager { return t.lc.cache }
 
 // commSeconds prices the two all-reduces per layer over the fresh tokens'
 // activations.
@@ -97,8 +96,8 @@ func (t *TensorParallel) commSeconds(fresh int) float64 {
 	if fresh == 0 {
 		return 0
 	}
-	m := t.cfg.Model
-	g := t.cfg.GPU
+	m := t.lc.cfg.Model
+	g := t.lc.cfg.GPU
 	perAllReduce := float64(fresh) * float64(m.Hidden) * float64(m.ActDType.Bytes())
 	ops := 2 * float64(m.Layers)
 	return ops*perAllReduce*linkCrossings(g)/g.PeerBWBytes + ops*collectiveLatency
@@ -120,34 +119,12 @@ func (t *TensorParallel) dispatch() {
 		return
 	}
 	t.busy = true
-	hashes := hashesOf(r, t.cache.BlockTokens())
-	cached, unpin := t.cache.PinH(hashes, now)
-	if cached > r.Len() {
-		cached = r.Len()
-	}
-	fresh := r.Len() - cached
-	need := int64(fresh) * t.cfg.Model.KVBytesPerToken()
-	spilled, releaseReservation := t.cache.Reserve(need)
-	spilled += 2 * t.prof.actSpill(r.Len()) // both GPUs overflow their share
-
-	dur, err := t.exec.EstimateSeconds(graph.PassSpec{Total: r.Len(), Cached: cached}, t.opts)
-	if err != nil {
-		panic(fmt.Sprintf("engine %s: pricing request %d: %v", t.name, r.ID, err))
-	}
-	dur += t.commSeconds(fresh)
+	inf := t.lc.begin(r, now)
 	// Both GPUs spill their half of the overflow concurrently.
-	dur += spillSeconds(spilled, 2*t.cfg.GPU.HostBWBytes)
-
-	start := now
+	dur := t.lc.estimate(inf) + t.commSeconds(inf.fresh()) +
+		spillSeconds(inf.spilled, 2*t.lc.cfg.GPU.HostBWBytes)
 	t.sim.After(dur, func() {
-		finish := t.sim.Now()
-		unpin()
-		releaseReservation()
-		t.cache.InsertH(hashes, finish)
-		t.cfg.emit(Record{
-			Req: r, Arrival: r.ArrivalTime, Start: start, Finish: finish,
-			CachedTokens: cached, SpilledBytes: spilled, Instance: t.name,
-		})
+		t.lc.finish(inf, t.sim.Now())
 		t.busy = false
 		t.dispatch()
 	})
@@ -158,25 +135,12 @@ func (t *TensorParallel) dispatch() {
 // stages process different requests concurrently, and pipeline bubbles
 // appear whenever consecutive requests have unequal lengths (§2.5).
 type PipelineParallel struct {
-	name      string
-	cfg       Config
 	sim       *sim.Sim
-	exec      *graph.Executor // per-stage (half the layers) cost model
-	opts      graph.Options
 	scheduler sched.Scheduler
-	cache     *kvcache.Manager
-	prof      profile
+	lc        lifecycle
 
 	stageBusy [2]bool
-	handoff   []*ppInflight
-}
-
-type ppInflight struct {
-	r       *sched.Request
-	start   float64
-	cached  int
-	spilled int64
-	release func() // unpin + unreserve
+	handoff   []*inflight
 }
 
 // NewPipelineParallel builds the PP=2 baseline (standard prefill, FCFS,
@@ -204,25 +168,29 @@ func NewPipelineParallel(cfg Config) (*PipelineParallel, error) {
 		return nil, err
 	}
 	return &PipelineParallel{
-		name:      "pipeline-parallel",
-		cfg:       cfg,
 		sim:       cfg.Sim,
-		exec:      exec,
-		opts:      opts,
 		scheduler: sched.NewFIFO(),
-		cache:     cache,
-		prof:      prof,
+		lc: lifecycle{
+			name:       "pipeline-parallel",
+			cfg:        cfg,
+			exec:       exec, // per-stage (half the layers) cost model
+			opts:       opts,
+			cache:      cache,
+			prof:       prof,
+			residentKV: true,
+			spillGPUs:  2, // both stages overflow their share
+		},
 	}, nil
 }
 
 // Name implements Engine.
-func (p *PipelineParallel) Name() string { return p.name }
+func (p *PipelineParallel) Name() string { return p.lc.name }
 
 // GPUs implements Engine.
 func (p *PipelineParallel) GPUs() int { return 2 }
 
 // Cache implements Engine.
-func (p *PipelineParallel) Cache() *kvcache.Manager { return p.cache }
+func (p *PipelineParallel) Cache() *kvcache.Manager { return p.lc.cache }
 
 // Submit implements Engine.
 func (p *PipelineParallel) Submit(r *sched.Request) {
@@ -230,21 +198,11 @@ func (p *PipelineParallel) Submit(r *sched.Request) {
 	p.dispatch0()
 }
 
-// stageSeconds prices one stage's share of a request plus the activation
-// handoff to the next stage.
-func (p *PipelineParallel) stageSeconds(r *sched.Request, cached int) float64 {
-	dur, err := p.exec.EstimateSeconds(graph.PassSpec{Total: r.Len(), Cached: cached}, p.opts)
-	if err != nil {
-		panic(fmt.Sprintf("engine %s: pricing request %d: %v", p.name, r.ID, err))
-	}
-	return dur
-}
-
 // handoffSeconds prices streaming the fresh tokens' hidden states between
 // stages.
 func (p *PipelineParallel) handoffSeconds(fresh int) float64 {
-	m := p.cfg.Model
-	g := p.cfg.GPU
+	m := p.lc.cfg.Model
+	g := p.lc.cfg.GPU
 	bytes := float64(fresh) * float64(m.Hidden) * float64(m.ActDType.Bytes())
 	return bytes*linkCrossings(g)/g.PeerBWBytes + collectiveLatency
 }
@@ -259,22 +217,11 @@ func (p *PipelineParallel) dispatch0() {
 		return
 	}
 	p.stageBusy[0] = true
-	hashes := hashesOf(r, p.cache.BlockTokens())
-	cached, unpin := p.cache.PinH(hashes, now)
-	if cached > r.Len() {
-		cached = r.Len()
-	}
-	fresh := r.Len() - cached
-	need := int64(fresh) * p.cfg.Model.KVBytesPerToken()
-	spilled, unreserve := p.cache.Reserve(need)
-	spilled += 2 * p.prof.actSpill(r.Len()) // both stages overflow their share
-
-	inf := &ppInflight{
-		r: r, start: now, cached: cached, spilled: spilled,
-		release: func() { unpin(); unreserve() },
-	}
-	dur := ppStageImbalance*p.stageSeconds(r, cached) + p.handoffSeconds(fresh) +
-		spillSeconds(spilled/2, p.cfg.GPU.HostBWBytes)
+	inf := p.lc.begin(r, now)
+	// Each stage pays half the spill; lc.estimate prices one stage's
+	// share of the pass on the per-stage cost model.
+	dur := ppStageImbalance*p.lc.estimate(inf) + p.handoffSeconds(inf.fresh()) +
+		spillSeconds(inf.spilled/2, p.lc.cfg.GPU.HostBWBytes)
 	p.sim.After(dur, func() {
 		p.stageBusy[0] = false
 		p.handoff = append(p.handoff, inf)
@@ -291,15 +238,9 @@ func (p *PipelineParallel) dispatch1() {
 	p.handoff[0] = nil
 	p.handoff = p.handoff[1:]
 	p.stageBusy[1] = true
-	dur := p.stageSeconds(inf.r, inf.cached) + spillSeconds(inf.spilled/2, p.cfg.GPU.HostBWBytes)
+	dur := p.lc.estimate(inf) + spillSeconds(inf.spilled/2, p.lc.cfg.GPU.HostBWBytes)
 	p.sim.After(dur, func() {
-		finish := p.sim.Now()
-		inf.release()
-		p.cache.InsertH(hashesOf(inf.r, p.cache.BlockTokens()), finish)
-		p.cfg.emit(Record{
-			Req: inf.r, Arrival: inf.r.ArrivalTime, Start: inf.start, Finish: finish,
-			CachedTokens: inf.cached, SpilledBytes: inf.spilled, Instance: p.name,
-		})
+		p.lc.finish(inf, p.sim.Now())
 		p.stageBusy[1] = false
 		p.dispatch1()
 	})

@@ -15,20 +15,9 @@ import (
 // PrefillOnly and the two non-parallel baselines are all Serial engines;
 // they differ in prefill strategy, KV residency, and scheduler.
 type Serial struct {
-	name      string
-	cfg       Config
 	sim       *sim.Sim
-	exec      *graph.Executor
-	opts      graph.Options
 	scheduler sched.Scheduler
-	cache     *kvcache.Manager
-
-	// residentKV is true for conventional engines that must hold a
-	// running request's full fresh KV in the pool (PagedAttention,
-	// chunked prefill); false for PrefillOnly, which discards it during
-	// inference.
-	residentKV bool
-	prof       profile
+	lc        lifecycle
 
 	busy bool
 }
@@ -69,15 +58,19 @@ func NewSerial(cfg Config, spec SerialSpec) (*Serial, error) {
 		return nil, err
 	}
 	s := &Serial{
-		name:       spec.Name,
-		cfg:        cfg,
-		sim:        cfg.Sim,
-		exec:       exec,
-		opts:       spec.Opts,
-		scheduler:  spec.Scheduler,
-		cache:      cache,
-		residentKV: spec.ResidentKV,
-		prof:       prof,
+		sim:       cfg.Sim,
+		scheduler: spec.Scheduler,
+		lc: lifecycle{
+			name:        spec.Name,
+			cfg:         cfg,
+			exec:        exec,
+			opts:        spec.Opts,
+			cache:       cache,
+			prof:        prof,
+			residentKV:  spec.ResidentKV,
+			hostRestore: true,
+			spillGPUs:   1,
+		},
 	}
 	if s.scheduler == nil {
 		s.scheduler = sched.NewFIFO()
@@ -86,23 +79,23 @@ func NewSerial(cfg Config, spec SerialSpec) (*Serial, error) {
 }
 
 // Name implements Engine.
-func (s *Serial) Name() string { return s.name }
+func (s *Serial) Name() string { return s.lc.name }
 
 // GPUs implements Engine.
 func (s *Serial) GPUs() int { return 1 }
 
 // Cache implements Engine.
-func (s *Serial) Cache() *kvcache.Manager { return s.cache }
+func (s *Serial) Cache() *kvcache.Manager { return s.lc.cache }
 
 // Scheduler exposes the queue policy (used by internal/core to wire JCT
 // calibration).
 func (s *Serial) Scheduler() sched.Scheduler { return s.scheduler }
 
 // Executor exposes the cost model (used for JCT profiling).
-func (s *Serial) Executor() *graph.Executor { return s.exec }
+func (s *Serial) Executor() *graph.Executor { return s.lc.exec }
 
 // Options returns the engine's prefill strategy.
-func (s *Serial) Options() graph.Options { return s.opts }
+func (s *Serial) Options() graph.Options { return s.lc.opts }
 
 // Submit implements Engine.
 func (s *Serial) Submit(r *sched.Request) {
@@ -122,75 +115,11 @@ func (s *Serial) dispatch() {
 	}
 	s.busy = true
 
-	hashes := hashesOf(r, s.cache.BlockTokens())
-	cached, unpin := s.cache.PinH(hashes, now)
-	if cached > r.Len() {
-		cached = r.Len()
-	}
-	// §9 extension: if the blocks following the GPU hit are in the host
-	// offload tier, restore them over the host link when that beats
-	// recomputing them.
-	restored := 0
-	var restoreSeconds float64
-	if hostHit := s.cache.HostHitH(hashes, cached/s.cache.BlockTokens()); hostHit > 0 {
-		withRestore := cached + hostHit
-		if withRestore > r.Len() {
-			withRestore = r.Len()
-		}
-		tRecompute, err1 := s.exec.EstimateSeconds(graph.PassSpec{Total: r.Len(), Cached: cached}, s.opts)
-		tRestoredPass, err2 := s.exec.EstimateSeconds(graph.PassSpec{Total: r.Len(), Cached: withRestore}, s.opts)
-		if err1 == nil && err2 == nil {
-			loadTime := float64(int64(withRestore-cached)*s.cfg.Model.KVBytesPerToken()) / s.cfg.GPU.HostBWBytes
-			if tRestoredPass+loadTime < tRecompute {
-				restored = withRestore - cached
-				cached = withRestore
-				restoreSeconds = loadTime
-			}
-		}
-	}
-	fresh := r.Len() - cached
-
-	// Conventional engines must page the fresh KV into the pool for the
-	// duration of execution; shortfall spills over the host link twice
-	// (written out during prefill, read back by later layers' attention).
-	// Requests longer than the profiled length additionally spill their
-	// excess activation working set.
-	spilled := s.prof.actSpill(r.Len())
-	releaseReservation := func() {}
-	if s.residentKV {
-		need := int64(fresh) * s.cfg.Model.KVBytesPerToken()
-		var short int64
-		short, releaseReservation = s.cache.Reserve(need)
-		spilled += short
-	}
-
-	dur, err := s.exec.EstimateSeconds(graph.PassSpec{Total: r.Len(), Cached: cached}, s.opts)
-	if err != nil {
-		// Cost-model failure is a programming error (specs are
-		// validated at submit); fail loudly.
-		panic(fmt.Sprintf("engine %s: pricing request %d: %v", s.name, r.ID, err))
-	}
-	dur += restoreSeconds + spillSeconds(spilled, s.cfg.GPU.HostBWBytes)
-
-	start := now
+	inf := s.lc.begin(r, now)
+	dur := s.lc.estimate(inf) + inf.restoreSeconds +
+		spillSeconds(inf.spilled, s.lc.cfg.GPU.HostBWBytes)
 	s.sim.After(dur, func() {
-		finish := s.sim.Now()
-		unpin()
-		releaseReservation()
-		// Cache what was computed: full insert for conventional
-		// engines (their KV is already in the pool), prefix-first
-		// insert with suffix discarding for PrefillOnly.
-		s.cache.InsertH(hashes, finish)
-		s.cfg.emit(Record{
-			Req:            r,
-			Arrival:        r.ArrivalTime,
-			Start:          start,
-			Finish:         finish,
-			CachedTokens:   cached,
-			SpilledBytes:   spilled,
-			RestoredTokens: restored,
-			Instance:       s.name,
-		})
+		s.lc.finish(inf, s.sim.Now())
 		s.busy = false
 		s.dispatch()
 	})
@@ -213,7 +142,7 @@ func ReplaceScheduler(s *Serial, sc sched.Scheduler) error {
 		return fmt.Errorf("engine: nil scheduler")
 	}
 	if s.busy || s.scheduler.Len() > 0 {
-		return fmt.Errorf("engine %s: cannot replace scheduler with work in flight", s.name)
+		return fmt.Errorf("engine %s: cannot replace scheduler with work in flight", s.Name())
 	}
 	s.scheduler = sc
 	return nil

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/hw"
 	"repro/internal/kvcache"
@@ -170,7 +171,7 @@ func Figure5() ([]Figure5Result, error) {
 
 	jctOf := func(c *kvcache.Manager) sched.JCTFunc {
 		return func(r *sched.Request) float64 {
-			return float64(r.Len() - c.Peek(r.Tokens))
+			return float64(r.Len() - c.PeekH(engine.HashesOf(r, c.BlockTokens())))
 		}
 	}
 	var out []Figure5Result
@@ -185,7 +186,10 @@ func Figure5() ([]Figure5Result, error) {
 	}
 	out = append(out, srjf)
 	cal, err := run("SRJF+calibration", func(c *kvcache.Manager) sched.Scheduler {
-		return sched.NewCalibrated(jctOf(c), 0)
+		s := sched.NewCalibrated(jctOf(c), 0)
+		// Incremental mode: rekey only on cache membership changes.
+		engine.AttachIncremental(s, c)
+		return s
 	})
 	if err != nil {
 		return nil, err

@@ -61,6 +61,40 @@ type Manager struct {
 	lru    lruHeap
 	host   *hostTier // nil when offloading is disabled
 	stats  Stats
+
+	subs    []func(ChangeEvent)
+	pending ChangeEvent
+}
+
+// ChangeEvent describes the cache-membership changes of one operation:
+// the block hashes newly inserted into the GPU tier and those evicted
+// from it. Pins, unpins and LRU refreshes do not change membership and
+// are not reported.
+type ChangeEvent struct {
+	Inserted []uint64
+	Evicted  []uint64
+}
+
+// Subscribe registers fn to run after every operation that changes cache
+// membership (Insert/InsertH, Reserve, EvictAll), with the block hashes
+// that changed. Schedulers use the feed to rekey only the waiting
+// requests whose prefix hash chains overlap a changed block instead of
+// rescanning the queue. fn runs synchronously on the engine's event
+// thread; it may read the Manager but must not mutate it.
+func (m *Manager) Subscribe(fn func(ChangeEvent)) {
+	m.subs = append(m.subs, fn)
+}
+
+// flushChanges delivers and clears the pending membership changes.
+func (m *Manager) flushChanges() {
+	if len(m.pending.Inserted) == 0 && len(m.pending.Evicted) == 0 {
+		return
+	}
+	ev := m.pending
+	m.pending = ChangeEvent{}
+	for _, fn := range m.subs {
+		fn(ev)
+	}
 }
 
 // Config configures a Manager.
@@ -225,6 +259,7 @@ func (m *Manager) HasBlock(hash uint64) bool {
 // It returns the shortfall that could not be satisfied (which the engine
 // must spill over the host link) and a release function.
 func (m *Manager) Reserve(bytes int64) (shortfall int64, release func()) {
+	defer m.flushChanges() // reclaim may evict
 	if bytes < 0 {
 		bytes = 0
 	}
@@ -322,6 +357,7 @@ func (m *Manager) Insert(tokens []uint64, limit int, now float64) int {
 // InsertH is Insert over a precomputed hash chain (all given blocks are
 // candidates; trim the chain to express a limit).
 func (m *Manager) InsertH(hashes []uint64, now float64) int {
+	defer m.flushChanges()
 	cached := 0
 	var parent *block
 	var path []*block
@@ -359,6 +395,9 @@ func (m *Manager) InsertH(hashes []uint64, now float64) int {
 		}
 		m.blocks[hash] = b
 		m.used += m.bytesPerBlock
+		if len(m.subs) > 0 {
+			m.pending.Inserted = append(m.pending.Inserted, hash)
+		}
 		path = append(path, b)
 		m.stats.InsertedBlocks++
 		cached += m.blockTokens
@@ -383,6 +422,9 @@ func (m *Manager) reclaim(need int64) bool {
 func (m *Manager) evict(b *block) {
 	delete(m.blocks, b.hash)
 	m.used -= m.bytesPerBlock
+	if len(m.subs) > 0 {
+		m.pending.Evicted = append(m.pending.Evicted, b.hash)
+	}
 	m.stats.EvictedBlocks++
 	if m.host != nil {
 		m.host.add(b.hash)
@@ -399,6 +441,7 @@ func (m *Manager) evict(b *block) {
 // EvictAll drops every unpinned block (used by tests and by engines on
 // reconfiguration).
 func (m *Manager) EvictAll() {
+	defer m.flushChanges()
 	for {
 		b := m.lru.popOldest()
 		if b == nil {

@@ -309,3 +309,95 @@ func TestRandomOpsInvariants(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// --- change-notification feed ---
+
+func TestSubscribeReportsInsertsAndEvictions(t *testing.T) {
+	m := newMgr(t, 4)
+	var events []ChangeEvent
+	m.Subscribe(func(ev ChangeEvent) { events = append(events, ev) })
+
+	chainA := BlockHashes(seq(1, 4*16), 16)
+	m.InsertH(chainA, 1)
+	if len(events) != 1 {
+		t.Fatalf("events after insert = %d, want 1", len(events))
+	}
+	if len(events[0].Inserted) != 4 || len(events[0].Evicted) != 0 {
+		t.Fatalf("first event = %+v, want 4 inserted / 0 evicted", events[0])
+	}
+
+	// Re-inserting the same chain only refreshes LRU: no membership
+	// change, no event.
+	m.InsertH(chainA, 2)
+	if len(events) != 1 {
+		t.Fatalf("refresh emitted an event: %+v", events[len(events)-1])
+	}
+
+	// Pins do not change membership either.
+	_, unpin := m.PinH(chainA, 3)
+	unpin()
+	if len(events) != 1 {
+		t.Fatal("pin/unpin emitted an event")
+	}
+
+	// A new chain in a full pool evicts A's blocks: one event carrying
+	// both the insertions and the evictions.
+	chainB := BlockHashes(seq(2, 2*16), 16)
+	m.InsertH(chainB, 4)
+	if len(events) != 2 {
+		t.Fatalf("events after displacing insert = %d, want 2", len(events))
+	}
+	if len(events[1].Inserted) != 2 || len(events[1].Evicted) != 2 {
+		t.Fatalf("second event = %+v, want 2 inserted / 2 evicted", events[1])
+	}
+	inA := map[uint64]bool{}
+	for _, h := range chainA {
+		inA[h] = true
+	}
+	for _, h := range events[1].Evicted {
+		if !inA[h] {
+			t.Fatalf("evicted hash %x is not one of A's blocks", h)
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubscribeReportsReserveAndEvictAll(t *testing.T) {
+	m := newMgr(t, 4)
+	var events []ChangeEvent
+	m.Subscribe(func(ev ChangeEvent) { events = append(events, ev) })
+
+	m.InsertH(BlockHashes(seq(1, 4*16), 16), 1)
+	events = events[:0]
+
+	// Reserving half the pool must evict two blocks and report them.
+	if short, release := m.Reserve(2 * 16 * 1024); short != 0 {
+		t.Fatalf("shortfall %d on satisfiable reserve", short)
+	} else {
+		defer release()
+	}
+	if len(events) != 1 || len(events[0].Evicted) != 2 || len(events[0].Inserted) != 0 {
+		t.Fatalf("reserve events = %+v, want one with 2 evicted", events)
+	}
+
+	events = events[:0]
+	m.EvictAll()
+	if len(events) != 1 || len(events[0].Evicted) != 2 {
+		t.Fatalf("EvictAll events = %+v, want one with the 2 remaining blocks", events)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("%d blocks remain after EvictAll", m.Len())
+	}
+
+	// An empty operation emits nothing.
+	events = events[:0]
+	m.EvictAll()
+	if _, release := m.Reserve(1024); true {
+		release()
+	}
+	if len(events) != 0 {
+		t.Fatalf("no-op operations emitted %+v", events)
+	}
+}

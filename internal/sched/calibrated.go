@@ -1,0 +1,256 @@
+package sched
+
+import "fmt"
+
+// --- SRJF (static) ---
+
+// SRJF is shortest-remaining-job-first with the JCT estimated once, at
+// arrival (§6.2's "traditional JCT-based scheduling"). It fails to react
+// when prefix caches appear or are evicted after enqueue. The queue is a
+// min-heap on the frozen JCT, ties broken by enqueue order.
+type SRJF struct {
+	jct JCTFunc
+	h   entryHeap
+	seq uint64
+}
+
+// NewSRJF returns an SRJF scheduler that freezes each request's JCT at
+// enqueue time using the supplied estimator.
+func NewSRJF(jct JCTFunc) *SRJF {
+	if jct == nil {
+		panic("sched: SRJF requires a JCT function")
+	}
+	return &SRJF{jct: jct}
+}
+
+// Name implements Scheduler.
+func (s *SRJF) Name() string { return "srjf" }
+
+// Enqueue implements Scheduler.
+func (s *SRJF) Enqueue(r *Request) {
+	s.h.push(&entry{r: r, key: s.jct(r), seq: s.seq})
+	s.seq++
+}
+
+// Len implements Scheduler.
+func (s *SRJF) Len() int { return s.h.len() }
+
+// Next implements Scheduler.
+func (s *SRJF) Next(now float64) *Request {
+	e := s.h.popMin()
+	if e == nil {
+		return nil
+	}
+	return e.r
+}
+
+// --- SRJF with continuous JCT calibration (Algorithm 1) ---
+
+// Calibrated is PrefillOnly's scheduler (Algorithm 1): every scheduling
+// decision runs the waiting request with the minimum calibrated score
+//
+//	score(r, now) = jct(r) − λ/1000·(now − r.ArrivalTime),
+//
+// where jct consults the live prefix cache and λ·T_queue is a queueing-
+// time fairness credit.
+//
+// Instead of sweeping the whole queue every decision, Calibrated keeps an
+// indexed min-heap on the time-invariant key
+//
+//	key(r) = jct(r) + λ/1000·r.ArrivalTime,
+//
+// which differs from score(r, now) only by the term −λ/1000·now shared by
+// every waiting request, so the heap order equals the score order at any
+// instant. jct depends on the prefix cache, so keys change only when cache
+// contents change: wire SetHashChain and feed the cache's membership
+// changes to OnCacheChange (kvcache.Manager.Subscribe), and only requests
+// whose hash chains overlap a changed block are rekeyed — O(log n) per
+// dispatch plus O(affected) rekeys, instead of O(queue × blocks). Without
+// that wiring, Calibrated remains correct by recomputing every key before
+// each decision (the reference sweep's cost).
+//
+// Requests whose ArrivalTime lies in the future are ordered with their
+// λ·arrival credit already applied (the score formula clamps T_queue at
+// zero instead); engines never enqueue future arrivals.
+type Calibrated struct {
+	jct JCTFunc
+	// lambda is the fairness parameter, in milliseconds of JCT credit
+	// per second of queueing (see DESIGN.md §5 for the unit convention;
+	// the paper's default is 500). It is fixed at construction because it
+	// is baked into each waiting request's key.
+	lambda float64
+
+	chain  func(*Request) []uint64
+	h      entryHeap
+	seq    uint64
+	byHash map[uint64]map[*entry]struct{}
+}
+
+// NewCalibrated returns the calibrated scheduler. jct is evaluated at
+// enqueue and whenever a cache change invalidates a request's key.
+func NewCalibrated(jct JCTFunc, lambda float64) *Calibrated {
+	if jct == nil {
+		panic("sched: Calibrated requires a JCT function")
+	}
+	return &Calibrated{jct: jct, lambda: lambda}
+}
+
+// Name implements Scheduler.
+func (c *Calibrated) Name() string {
+	return fmt.Sprintf("srjf-calibrated(λ=%g)", c.lambda)
+}
+
+// SetHashChain enables incremental rekeying: chain must return the block-
+// hash chain the JCT function's cache lookup walks (the same block size),
+// so waiting requests can be indexed by the blocks their JCT depends on.
+// It must be wired before any request is enqueued.
+func (c *Calibrated) SetHashChain(chain func(*Request) []uint64) {
+	if c.h.len() > 0 {
+		panic("sched: SetHashChain with requests already waiting")
+	}
+	c.chain = chain
+	c.byHash = make(map[uint64]map[*entry]struct{})
+}
+
+// Enqueue implements Scheduler.
+func (c *Calibrated) Enqueue(r *Request) {
+	e := &entry{r: r, key: c.key(r), seq: c.seq}
+	c.seq++
+	if c.chain != nil {
+		e.hashes = c.chain(r)
+		for _, h := range e.hashes {
+			set := c.byHash[h]
+			if set == nil {
+				set = make(map[*entry]struct{})
+				c.byHash[h] = set
+			}
+			set[e] = struct{}{}
+		}
+	}
+	c.h.push(e)
+}
+
+// Len implements Scheduler.
+func (c *Calibrated) Len() int { return c.h.len() }
+
+// key returns the time-invariant heap key of a request.
+func (c *Calibrated) key(r *Request) float64 {
+	return c.jct(r) + c.lambda/1000*r.ArrivalTime
+}
+
+// Score returns the Algorithm-1 score of a request at time now:
+// jct(n_input, n_cached) − λ·T_queue. Exported for tests and diagnostics.
+// Note Score clamps T_queue at zero while the dispatch order uses the
+// unclamped key, so for a request whose ArrivalTime lies in the future
+// (never produced by engines) Score does not predict dispatch order.
+func (c *Calibrated) Score(r *Request, now float64) float64 {
+	queue := now - r.ArrivalTime
+	if queue < 0 {
+		queue = 0
+	}
+	return c.jct(r) - c.lambda/1000*queue
+}
+
+// Next implements Scheduler: the minimum-key request wins.
+func (c *Calibrated) Next(now float64) *Request {
+	if c.chain == nil {
+		// No cache-event feed: every key may be stale, recalibrate all.
+		for _, e := range c.h.items {
+			e.key = c.key(e.r)
+		}
+		c.h.reinit()
+	}
+	e := c.h.popMin()
+	if e == nil {
+		return nil
+	}
+	for _, h := range e.hashes {
+		set := c.byHash[h]
+		delete(set, e)
+		if len(set) == 0 {
+			delete(c.byHash, h)
+		}
+	}
+	return e.r
+}
+
+// OnCacheChange rekeys the waiting requests whose hash chains include any
+// of the inserted or evicted blocks. Wire it to the owning cache's change
+// feed (kvcache.Manager.Subscribe); a request's JCT can only move when a
+// block of its own chain enters or leaves the cache.
+func (c *Calibrated) OnCacheChange(inserted, evicted []uint64) {
+	if c.chain == nil {
+		return
+	}
+	var affected map[*entry]struct{}
+	for _, hs := range [2][]uint64{inserted, evicted} {
+		for _, h := range hs {
+			for e := range c.byHash[h] {
+				if affected == nil {
+					affected = make(map[*entry]struct{})
+				}
+				affected[e] = struct{}{}
+			}
+		}
+	}
+	for e := range affected {
+		e.key = c.key(e.r)
+		c.h.fix(e)
+	}
+}
+
+// --- reference sweep (equivalence oracle) ---
+
+// CalibratedSweep is the original O(queue × blocks) implementation of
+// Algorithm 1, kept as the reference oracle for Calibrated's equivalence
+// tests: every decision recomputes key(r) = jct(r) + λ/1000·ArrivalTime
+// for every waiting request and pops the minimum, breaking ties by enqueue
+// order exactly as Calibrated does.
+type CalibratedSweep struct {
+	jct    JCTFunc
+	lambda float64
+	q      []*entry
+	seq    uint64
+}
+
+// NewCalibratedSweep returns the reference sweep scheduler.
+func NewCalibratedSweep(jct JCTFunc, lambda float64) *CalibratedSweep {
+	if jct == nil {
+		panic("sched: CalibratedSweep requires a JCT function")
+	}
+	return &CalibratedSweep{jct: jct, lambda: lambda}
+}
+
+// Name implements Scheduler.
+func (c *CalibratedSweep) Name() string {
+	return fmt.Sprintf("srjf-calibrated-sweep(λ=%g)", c.lambda)
+}
+
+// Enqueue implements Scheduler.
+func (c *CalibratedSweep) Enqueue(r *Request) {
+	c.q = append(c.q, &entry{r: r, seq: c.seq})
+	c.seq++
+}
+
+// Len implements Scheduler.
+func (c *CalibratedSweep) Len() int { return len(c.q) }
+
+// Next implements Scheduler: one full calibration sweep, then the minimum
+// entry (key, then longer request, then enqueue order) wins.
+func (c *CalibratedSweep) Next(now float64) *Request {
+	best := -1
+	for i, e := range c.q {
+		e.key = c.jct(e.r) + c.lambda/1000*e.r.ArrivalTime
+		if best < 0 || entryLess(e, c.q[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	e := c.q[best]
+	c.q[best] = c.q[len(c.q)-1]
+	c.q[len(c.q)-1] = nil
+	c.q = c.q[:len(c.q)-1]
+	return e.r
+}

@@ -1,0 +1,149 @@
+package sched_test
+
+// Equivalence oracle for the incremental Algorithm-1 scheduler: across
+// seeded randomized workloads with prefix sharing, cache churn, LRU
+// evictions, reservation pressure, pin churn and host offloading, the
+// indexed-heap Calibrated must emit a dispatch order byte-identical to
+// the reference full-sweep implementation driven against an identical
+// twin cache.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/kvcache"
+	"repro/internal/sched"
+)
+
+const eqBlockTokens = 16
+
+// chainOf returns the request's memoized block-hash chain.
+func chainOf(r *sched.Request) []uint64 {
+	return engine.HashesOf(r, eqBlockTokens)
+}
+
+// missJCT estimates JCT as scaled cache-miss tokens against m, like the
+// paper's proxy estimator.
+func missJCT(m *kvcache.Manager) sched.JCTFunc {
+	return func(r *sched.Request) float64 {
+		cached := m.PeekH(chainOf(r))
+		if cached > r.Len() {
+			cached = r.Len()
+		}
+		return 0.01 * float64(r.Len()-cached)
+	}
+}
+
+func TestIncrementalCalibratedMatchesSweep(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		mkMgr := func() *kvcache.Manager {
+			m, err := kvcache.New(kvcache.Config{
+				BlockTokens:       eqBlockTokens,
+				BytesPerToken:     1,
+				CapacityBytes:     48 * eqBlockTokens,  // 48 blocks: tight, constant eviction
+				HostCapacityBytes: 128 * eqBlockTokens, // §9 offload tier enabled
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}
+		// Twin caches driven with identical operation sequences; the
+		// incremental scheduler additionally receives mInc's change feed.
+		mInc, mSweep := mkMgr(), mkMgr()
+		inc := sched.NewCalibrated(missJCT(mInc), 500)
+		engine.AttachIncremental(inc, mInc)
+		sweep := sched.NewCalibratedSweep(missJCT(mSweep), 500)
+
+		nextID := int64(1)
+		now := 0.0
+		mkReq := func() *sched.Request {
+			user := rng.Intn(6)
+			shared := rng.Intn(8) * eqBlockTokens
+			tail := (rng.Intn(8) + 1) * eqBlockTokens
+			toks := make([]uint64, 0, shared+tail)
+			for i := 0; i < shared; i++ {
+				toks = append(toks, uint64(user+1)<<40|uint64(i))
+			}
+			for i := 0; i < tail; i++ {
+				toks = append(toks, uint64(nextID)<<16|uint64(i))
+			}
+			r := &sched.Request{ID: nextID, UserID: user, Tokens: toks, ArrivalTime: now}
+			nextID++
+			return r
+		}
+		both := func(op func(m *kvcache.Manager) func()) (relInc, relSweep func()) {
+			return op(mInc), op(mSweep)
+		}
+		dispatch := func() bool {
+			a := inc.Next(now)
+			b := sweep.Next(now)
+			switch {
+			case a == nil && b == nil:
+				return false
+			case a == nil || b == nil || a.ID != b.ID:
+				t.Fatalf("seed %d t=%.3f: incremental dispatched %v, sweep %v", seed, now, a, b)
+			}
+			// Completion: cache what was computed, in both caches.
+			mInc.InsertH(chainOf(a), now)
+			mSweep.InsertH(chainOf(a), now)
+			return true
+		}
+
+		var releases [][2]func() // open reservations/pins, mirrored pairwise
+		for op := 0; op < 800; op++ {
+			now += rng.Float64() * 0.3
+			switch rng.Intn(12) {
+			case 0, 1, 2, 3, 4:
+				r := mkReq()
+				inc.Enqueue(r)
+				sweep.Enqueue(r)
+			case 5, 6, 7:
+				dispatch()
+			case 8: // foreign completion: insert a never-scheduled chain
+				h := chainOf(mkReq())
+				mInc.InsertH(h, now)
+				mSweep.InsertH(h, now)
+			case 9: // reservation pressure forces evictions
+				need := int64(rng.Intn(24) * eqBlockTokens)
+				a, b := both(func(m *kvcache.Manager) func() {
+					_, rel := m.Reserve(need)
+					return rel
+				})
+				releases = append(releases, [2]func(){a, b})
+			case 10: // pin churn (membership-neutral: must not rekey)
+				h := chainOf(mkReq())
+				a, b := both(func(m *kvcache.Manager) func() {
+					_, rel := m.PinH(h, now)
+					return rel
+				})
+				releases = append(releases, [2]func(){a, b})
+			case 11:
+				if len(releases) > 0 {
+					i := rng.Intn(len(releases))
+					releases[i][0]()
+					releases[i][1]()
+					releases = append(releases[:i], releases[i+1:]...)
+				} else {
+					mInc.EvictAll()
+					mSweep.EvictAll()
+				}
+			}
+			if inc.Len() != sweep.Len() {
+				t.Fatalf("seed %d: queue lengths diverged (%d vs %d)", seed, inc.Len(), sweep.Len())
+			}
+		}
+		for _, rel := range releases {
+			rel[0]()
+			rel[1]()
+		}
+		for dispatch() {
+			now += rng.Float64() * 0.3
+		}
+		if err := mInc.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

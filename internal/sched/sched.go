@@ -5,8 +5,6 @@
 // (Algorithm 1).
 package sched
 
-import "fmt"
-
 // Request is one prefill-only request travelling through an engine.
 type Request struct {
 	// ID is unique within a run.
@@ -30,9 +28,6 @@ type Request struct {
 	// large prompts do not re-hash them.
 	BlockHashes     []uint64
 	HashBlockTokens int
-
-	// scheduler bookkeeping
-	staticJCT float64 // SRJF: JCT frozen at enqueue time
 }
 
 // Len returns the input length in tokens.
@@ -59,9 +54,13 @@ type Scheduler interface {
 // --- FIFO ---
 
 // FIFO is first-come-first-serve scheduling (the PagedAttention baseline's
-// policy).
+// policy). The queue is a ring buffer: dequeued slots are reused, so the
+// backing array is bounded by the peak queue depth — not by the total
+// requests ever enqueued — and it shrinks when the queue drains.
 type FIFO struct {
-	q []*Request
+	buf   []*Request
+	head  int
+	count int
 }
 
 // NewFIFO returns an empty FIFO scheduler.
@@ -71,138 +70,44 @@ func NewFIFO() *FIFO { return &FIFO{} }
 func (f *FIFO) Name() string { return "fifo" }
 
 // Enqueue implements Scheduler.
-func (f *FIFO) Enqueue(r *Request) { f.q = append(f.q, r) }
+func (f *FIFO) Enqueue(r *Request) {
+	if f.count == len(f.buf) {
+		f.resize(2 * f.count)
+	}
+	f.buf[(f.head+f.count)%len(f.buf)] = r
+	f.count++
+}
 
 // Len implements Scheduler.
-func (f *FIFO) Len() int { return len(f.q) }
+func (f *FIFO) Len() int { return f.count }
 
 // Next implements Scheduler.
 func (f *FIFO) Next(now float64) *Request {
-	if len(f.q) == 0 {
+	if f.count == 0 {
 		return nil
 	}
-	r := f.q[0]
-	f.q[0] = nil
-	f.q = f.q[1:]
+	r := f.buf[f.head]
+	f.buf[f.head] = nil
+	f.head = (f.head + 1) % len(f.buf)
+	f.count--
+	if len(f.buf) > minFIFOCap && f.count <= len(f.buf)/4 {
+		f.resize(len(f.buf) / 2)
+	}
 	return r
 }
 
-// --- SRJF (static) ---
+const minFIFOCap = 8
 
-// SRJF is shortest-remaining-job-first with the JCT estimated once, at
-// arrival (§6.2's "traditional JCT-based scheduling"). It fails to react
-// when prefix caches appear or are evicted after enqueue.
-type SRJF struct {
-	jct JCTFunc
-	q   []*Request
-}
-
-// NewSRJF returns an SRJF scheduler that freezes each request's JCT at
-// enqueue time using the supplied estimator.
-func NewSRJF(jct JCTFunc) *SRJF {
-	if jct == nil {
-		panic("sched: SRJF requires a JCT function")
+// resize moves the live window into a fresh backing array of the given
+// capacity (at least minFIFOCap).
+func (f *FIFO) resize(n int) {
+	if n < minFIFOCap {
+		n = minFIFOCap
 	}
-	return &SRJF{jct: jct}
-}
-
-// Name implements Scheduler.
-func (s *SRJF) Name() string { return "srjf" }
-
-// Enqueue implements Scheduler.
-func (s *SRJF) Enqueue(r *Request) {
-	r.staticJCT = s.jct(r)
-	s.q = append(s.q, r)
-}
-
-// Len implements Scheduler.
-func (s *SRJF) Len() int { return len(s.q) }
-
-// Next implements Scheduler.
-func (s *SRJF) Next(now float64) *Request {
-	best := -1
-	for i, r := range s.q {
-		if best < 0 || r.staticJCT < s.q[best].staticJCT {
-			best = i
-		}
+	buf := make([]*Request, n)
+	for i := 0; i < f.count; i++ {
+		buf[i] = f.buf[(f.head+i)%len(f.buf)]
 	}
-	if best < 0 {
-		return nil
-	}
-	return s.remove(best)
-}
-
-func (s *SRJF) remove(i int) *Request {
-	r := s.q[i]
-	s.q[i] = s.q[len(s.q)-1]
-	s.q[len(s.q)-1] = nil
-	s.q = s.q[:len(s.q)-1]
-	return r
-}
-
-// --- SRJF with continuous JCT calibration (Algorithm 1) ---
-
-// Calibrated is PrefillOnly's scheduler: before every scheduling decision
-// it re-estimates the JCT of every waiting request against the current
-// prefix-cache contents, subtracts a queueing-time fairness credit
-// (λ·T_queue), and runs the request with the minimum score.
-type Calibrated struct {
-	jct JCTFunc
-	// Lambda is the fairness parameter, in milliseconds of JCT credit
-	// per second of queueing (see DESIGN.md §5 for the unit convention;
-	// the paper's default is 500).
-	Lambda float64
-	q      []*Request
-}
-
-// NewCalibrated returns the calibrated scheduler. jct is evaluated fresh
-// at every decision.
-func NewCalibrated(jct JCTFunc, lambda float64) *Calibrated {
-	if jct == nil {
-		panic("sched: Calibrated requires a JCT function")
-	}
-	return &Calibrated{jct: jct, Lambda: lambda}
-}
-
-// Name implements Scheduler.
-func (c *Calibrated) Name() string {
-	return fmt.Sprintf("srjf-calibrated(λ=%g)", c.Lambda)
-}
-
-// Enqueue implements Scheduler.
-func (c *Calibrated) Enqueue(r *Request) { c.q = append(c.q, r) }
-
-// Len implements Scheduler.
-func (c *Calibrated) Len() int { return len(c.q) }
-
-// Score returns the Algorithm-1 score of a request at time now:
-// jct(n_input, n_cached) − λ·T_queue. Exported for tests and diagnostics.
-func (c *Calibrated) Score(r *Request, now float64) float64 {
-	queue := now - r.ArrivalTime
-	if queue < 0 {
-		queue = 0
-	}
-	return c.jct(r) - c.Lambda/1000*queue
-}
-
-// Next implements Scheduler: one full calibration sweep, then the minimum
-// score wins.
-func (c *Calibrated) Next(now float64) *Request {
-	best := -1
-	bestScore := 0.0
-	for i, r := range c.q {
-		score := c.Score(r, now)
-		if best < 0 || score < bestScore {
-			best = i
-			bestScore = score
-		}
-	}
-	if best < 0 {
-		return nil
-	}
-	r := c.q[best]
-	c.q[best] = c.q[len(c.q)-1]
-	c.q[len(c.q)-1] = nil
-	c.q = c.q[:len(c.q)-1]
-	return r
+	f.buf = buf
+	f.head = 0
 }

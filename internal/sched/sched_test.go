@@ -29,6 +29,55 @@ func TestFIFOOrder(t *testing.T) {
 	}
 }
 
+// FIFO's ring buffer must stay bounded by the peak queue depth under
+// sustained load — the old `q = q[1:]` slice advance retained the entire
+// backing array for the life of the queue.
+func TestFIFOBoundedMemoryUnderSustainedLoad(t *testing.T) {
+	f := NewFIFO()
+	for i := 0; i < 1_000_000; i++ {
+		f.Enqueue(req(int64(i), 1, float64(i)))
+		if r := f.Next(float64(i)); r == nil || r.ID != int64(i) {
+			t.Fatalf("iteration %d popped %v", i, r)
+		}
+	}
+	if f.Len() != 0 {
+		t.Fatalf("len = %d after drain", f.Len())
+	}
+	if len(f.buf) > 2*minFIFOCap {
+		t.Fatalf("backing array holds %d slots after 1M requests at depth 1", len(f.buf))
+	}
+	for i, r := range f.buf {
+		if r != nil {
+			t.Fatalf("drained queue retains request pointer at slot %d", i)
+		}
+	}
+}
+
+// Ring wrap-around and resizing must preserve FIFO order under arbitrary
+// enqueue/dequeue interleavings.
+func TestFIFOOrderAcrossWrapAndResize(t *testing.T) {
+	f := NewFIFO()
+	var want []int64
+	next := int64(0)
+	rngStep := func(i int) int { return int((int64(i)*2654435761 + 1) % 7) } // deterministic pseudo-random
+	for i := 0; i < 10000; i++ {
+		if rngStep(i) < 4 {
+			f.Enqueue(req(next, 1, 0))
+			want = append(want, next)
+			next++
+		} else if len(want) > 0 {
+			r := f.Next(0)
+			if r == nil || r.ID != want[0] {
+				t.Fatalf("popped %v, want %d", r, want[0])
+			}
+			want = want[1:]
+		}
+		if f.Len() != len(want) {
+			t.Fatalf("len = %d, want %d", f.Len(), len(want))
+		}
+	}
+}
+
 func lenJCT(r *Request) float64 { return float64(r.Len()) }
 
 func TestSRJFPicksShortest(t *testing.T) {
@@ -119,6 +168,34 @@ func TestCalibratedScore(t *testing.T) {
 	}
 }
 
+// Ties on the calibrated key prefer the longer request (more cached
+// prefix to reuse at equal miss-cost), then enqueue order — identically in
+// the heap scheduler and the reference sweep.
+func TestCalibratedTieBreak(t *testing.T) {
+	constJCT := func(r *Request) float64 { return 10 }
+	for _, s := range []Scheduler{NewCalibrated(constJCT, 0), NewCalibratedSweep(constJCT, 0)} {
+		s.Enqueue(req(1, 5, 0))
+		s.Enqueue(req(2, 9, 0))
+		s.Enqueue(req(3, 9, 0))
+		for _, want := range []int64{2, 3, 1} {
+			if r := s.Next(0); r.ID != want {
+				t.Fatalf("%s popped %d, want %d", s.Name(), r.ID, want)
+			}
+		}
+	}
+}
+
+func TestSetHashChainRejectsWaitingRequests(t *testing.T) {
+	c := NewCalibrated(lenJCT, 0)
+	c.Enqueue(req(1, 10, 0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetHashChain accepted with requests waiting")
+		}
+	}()
+	c.SetHashChain(func(r *Request) []uint64 { return nil })
+}
+
 func TestNilJCTPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -141,7 +218,7 @@ func TestSchedulersConserveRequests(t *testing.T) {
 			}
 			return rs
 		}
-		for _, s := range []Scheduler{NewFIFO(), NewSRJF(lenJCT), NewCalibrated(lenJCT, 500)} {
+		for _, s := range []Scheduler{NewFIFO(), NewSRJF(lenJCT), NewCalibrated(lenJCT, 500), NewCalibratedSweep(lenJCT, 500)} {
 			seen := make(map[int64]bool)
 			for _, r := range mks() {
 				s.Enqueue(r)
@@ -165,7 +242,7 @@ func TestSchedulersConserveRequests(t *testing.T) {
 }
 
 func TestSchedulerNames(t *testing.T) {
-	for _, s := range []Scheduler{NewFIFO(), NewSRJF(lenJCT), NewCalibrated(lenJCT, 500)} {
+	for _, s := range []Scheduler{NewFIFO(), NewSRJF(lenJCT), NewCalibrated(lenJCT, 500), NewCalibratedSweep(lenJCT, 500)} {
 		if s.Name() == "" {
 			t.Fatal("empty scheduler name")
 		}
