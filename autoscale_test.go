@@ -1,0 +1,79 @@
+package prefillonly
+
+import "testing"
+
+// TestSimulationAutoscale drives the elastic pool end to end through the
+// public facade: a square-wave burst grows the pool from its floor, the
+// trough drains it back, and every request is accounted for.
+func TestSimulationAutoscale(t *testing.T) {
+	s, err := NewSimulation(SimulationConfig{
+		GPUs: 4, MaxInputLen: 5000,
+		RoutingPolicy:     "affinity",
+		MaxBacklogSeconds: 20,
+		Autoscale:         &AutoscaleConfig{MinInstances: 1, UpBacklogSeconds: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := s.Autoscaler()
+	if ctl == nil {
+		t.Fatal("no autoscaler")
+	}
+	if ctl.Size() != 1 {
+		t.Fatalf("initial pool %d, want the floor 1", ctl.Size())
+	}
+
+	ds := NewSkewed(SkewedConfig{Users: 16, Requests: 96, ProfileMean: 2500,
+		ProfileStd: 500, ProfileMin: 1500, ProfileMax: 4000, Seed: 3})
+	rate := SquareWaveRate(1, 12, 30, 0.4)
+	arrivals, err := AssignOpenLoopArrivals(ds, rate, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range arrivals {
+		s.SubmitAt(a.Time, a.Req)
+	}
+	recs := s.Run()
+	if err := ctl.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs)+s.Rejected() != 96 {
+		t.Fatalf("completed %d + rejected %d != 96", len(recs), s.Rejected())
+	}
+	st := ctl.Stats()
+	if st.ScaleUps == 0 || st.PeakInstances < 2 {
+		t.Fatalf("burst did not grow the pool: %+v", st)
+	}
+	if st.PeakInstances > 4 {
+		t.Fatalf("pool exceeded the GPUs ceiling: %+v", st)
+	}
+	if gs := ctl.GPUSeconds(s.Now()); gs <= 0 || gs > 4*s.Now() {
+		t.Fatalf("GPU-seconds %g outside (0, %g]", gs, 4*s.Now())
+	}
+
+	// The config guards: autoscaling requires a routing policy, and the
+	// caller's config must not be mutated by defaulting.
+	acfg := &AutoscaleConfig{MinInstances: 1}
+	if _, err := NewSimulation(SimulationConfig{Autoscale: acfg}); err == nil {
+		t.Fatal("Autoscale without RoutingPolicy accepted")
+	}
+	if _, err := NewSimulation(SimulationConfig{
+		GPUs: 2, MaxInputLen: 5000, RoutingPolicy: "affinity", Autoscale: acfg,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if acfg.MaxInstances != 0 || acfg.Model != nil {
+		t.Fatalf("caller's AutoscaleConfig mutated: %+v", acfg)
+	}
+}
+
+// TestColdStartCatalogPricing pins the public cold-start helper to the
+// catalog arithmetic.
+func TestColdStartCatalogPricing(t *testing.T) {
+	m, g := Llama31_8B(), L4()
+	got := ColdStartSeconds(m, g, 1)
+	want := float64(m.WeightBytes()) / float64(g.HostBWBytes)
+	if got != want {
+		t.Fatalf("cold start %g, want weights/hostBW = %g", got, want)
+	}
+}

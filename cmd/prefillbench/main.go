@@ -3,15 +3,18 @@
 //
 // Usage:
 //
-//	prefillbench -exp table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|sec2.3|sec6.3|routing|all
+//	prefillbench -exp table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|sec2.3|sec6.3|routing|autoscale|all
 //	             [-scenario L4|A100|H100|H100-NVLink] [-dataset post|credit]
-//	             [-seed N] [-small]
+//	             [-seed N] [-small] [-json FILE]
 //
 // fig6/fig7 honour -scenario and -dataset to render a single panel
 // (the full grid is expensive); "all" runs everything cheap plus one panel.
+// autoscale honours -json to additionally write its sweep rows as JSON
+// (the CI benchmark smoke step records BENCH_autoscale.json this way).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,15 +30,16 @@ func main() {
 	dataset := flag.String("dataset", "post", "dataset for fig6/fig7 panels (post|credit)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	small := flag.Bool("small", false, "use scaled-down datasets for quick runs")
+	jsonPath := flag.String("json", "", "also write the experiment's rows as JSON (autoscale only)")
 	flag.Parse()
 
-	if err := run(*exp, *scenario, *dataset, *seed, *small); err != nil {
+	if err := run(*exp, *scenario, *dataset, *seed, *small, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "prefillbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, scenario, dataset string, seed int64, small bool) error {
+func run(exp, scenario, dataset string, seed int64, small bool, jsonPath string) error {
 	switch exp {
 	case "table1":
 		return table1(seed)
@@ -65,13 +69,18 @@ func run(exp, scenario, dataset string, seed int64, small bool) error {
 		return sec63()
 	case "routing":
 		return routing(seed, small)
+	case "autoscale":
+		return autoscaleExp(seed, small, jsonPath)
 	case "all":
 		for _, e := range []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig10", "sec2.3", "sec6.3"} {
-			if err := run(e, scenario, dataset, seed, small); err != nil {
+			if err := run(e, scenario, dataset, seed, small, ""); err != nil {
 				return err
 			}
 		}
 		if err := routing(seed, true); err != nil {
+			return err
+		}
+		if err := autoscaleExp(seed, true, jsonPath); err != nil {
 			return err
 		}
 		return figQPS("fig6", scenario, dataset, seed, true)
@@ -288,6 +297,34 @@ func routing(seed int64, small bool) error {
 			r.Dataset, r.Policy, r.QPS, r.MeanJCT, r.P99JCT, r.CacheHitRate, r.BalanceRatio, r.Rejected)
 	}
 	return w.Flush()
+}
+
+func autoscaleExp(seed int64, small bool, jsonPath string) error {
+	rows, err := experiments.AutoscaleSweep(seed, small)
+	if err != nil {
+		return err
+	}
+	w := header("Autoscale: fixed fleets vs elastic pool, square-wave burst on L4")
+	fmt.Fprintln(w, "mode\tmean JCT (s)\tp99 (s)\tshed\tGPU-s\tsavings vs peak\tpool\tups\tdowns\tcold start (s)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%.3f\t%.1f\t%.1f%%\t[%d,%d]\t%d\t%d\t%.2f\n",
+			r.Mode, r.MeanJCT, r.P99JCT, r.ShedRate, r.GPUSeconds, 100*r.GPUSavingsVsPeak,
+			r.TroughInstances, r.PeakInstances, r.ScaleUps, r.ScaleDowns, r.ColdStartSeconds)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", jsonPath)
+	}
+	return nil
 }
 
 func sec23() error {

@@ -6,6 +6,12 @@
 //	prefillserve [-addr :8080] [-model llama-3.1-8b] [-gpu l4]
 //	             [-max-input-len 20000] [-lambda 500] [-speedup 1000]
 //	             [-instances 1] [-routing affinity] [-max-backlog 0]
+//	             [-autoscale] [-min-instances 1]
+//
+// With -autoscale, -instances is the pool ceiling: the cluster starts at
+// -min-instances engines and scales elastically from live backlog and
+// admission signals, paying a model-load cold start per scale-up. Watch
+// the pool at /v1/stats.
 //
 // Then:
 //
@@ -13,6 +19,7 @@
 //	  "prompt": "Here is the user profile: ... Your answer is:",
 //	  "max_tokens": 1, "allowed_tokens": ["Yes","No"], "user": "u1"
 //	}'
+//	curl -s localhost:8080/v1/stats
 package main
 
 import (
@@ -34,6 +41,8 @@ func main() {
 	instances := flag.Int("instances", 1, "engine instances (>1 routes by load and prefix affinity)")
 	routing := flag.String("routing", "affinity", "routing policy for -instances > 1 (userhash|leastloaded|affinity)")
 	maxBacklog := flag.Float64("max-backlog", 0, "admission bound in estimated backlog seconds (0 = unlimited)")
+	autoscaleOn := flag.Bool("autoscale", false, "scale the pool elastically between -min-instances and -instances")
+	minInstances := flag.Int("min-instances", 1, "elastic pool floor (requires -autoscale)")
 	flag.Parse()
 
 	m, ok := prefillonly.Models()[*modelName]
@@ -55,11 +64,18 @@ func main() {
 	if *instances > 1 {
 		scfg.RoutingPolicy = *routing
 		scfg.MaxBacklogSeconds = *maxBacklog
+		if *autoscaleOn {
+			scfg.Autoscale = true
+			scfg.MinInstances = *minInstances
+		} else if *minInstances != 1 {
+			log.Fatal("-min-instances requires -autoscale")
+		}
 	} else {
 		// Reject explicitly-set routing flags rather than silently
 		// dropping them on a single-engine server.
 		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "routing" || f.Name == "max-backlog" {
+			switch f.Name {
+			case "routing", "max-backlog", "autoscale", "min-instances":
 				log.Fatalf("-%s requires -instances > 1", f.Name)
 			}
 		})
@@ -74,6 +90,10 @@ func main() {
 	if *instances > 1 {
 		fmt.Printf("prefillserve: %d instances routed by %s policy (max backlog %gs)\n",
 			*instances, *routing, *maxBacklog)
+	}
+	if *autoscaleOn {
+		fmt.Printf("prefillserve: autoscaling pool between %d and %d instances (cold start %.2fs)\n",
+			*minInstances, *instances, prefillonly.ColdStartSeconds(m, g, 1))
 	}
 	fmt.Printf("prefillserve: listening on %s\n", *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))

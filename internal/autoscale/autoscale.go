@@ -1,0 +1,419 @@
+// Package autoscale closes the control loop over internal/router: a
+// controller watches the router's load view (per-instance backlog seconds,
+// queue depth, and the admission tally's reject rate over a sliding
+// window) and elastically sizes the instance pool between a floor and a
+// ceiling.
+//
+// Scale-up is not free: a new instance pays a cold-start delay — the time
+// to load the model weights onto the device, priced from the hw/model
+// catalogs over the host (PCIe) link plus, for multi-GPU instances, the
+// peer (PCIe/NVLink) shard exchange — before the router starts offering it
+// to policies. Scale-down is graceful: the controller drains the
+// least-loaded instance (the router stops routing to it), lets its
+// in-flight work finish, then releases it. GPU-seconds are accounted from
+// the moment an instance is provisioned (cold start included — the device
+// is held while weights load) until release, so experiments can compare
+// the provisioning cost of an elastic pool against a fixed fleet.
+//
+// Like the router, the controller is not goroutine-safe: its ticks run as
+// simulation events, and the HTTP backend serializes access under its own
+// lock.
+package autoscale
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/engine"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/router"
+	"repro/internal/sim"
+)
+
+// ColdStartSeconds prices bringing up one instance: every GPU of the
+// instance streams its weight shard from host memory over the PCIe host
+// link in parallel, and multi-GPU instances additionally exchange shards
+// over the peer link (PCIe or NVLink) to materialize their layout. This
+// is the floor for real deployments (checkpoint already in page cache);
+// disk or network fetch only adds to it.
+func ColdStartSeconds(m *model.Config, g *hw.GPU, gpus int) float64 {
+	if gpus < 1 {
+		gpus = 1
+	}
+	w := float64(m.WeightBytes())
+	cold := w / float64(gpus) / float64(g.HostBWBytes)
+	if gpus > 1 {
+		cold += w / float64(gpus) / float64(g.PeerBWBytes)
+	}
+	return cold
+}
+
+// Config tunes the controller. Zero values take the noted defaults.
+type Config struct {
+	// MinInstances is the pool floor (default 1). The controller restores
+	// it unconditionally if the pool ever sits below.
+	MinInstances int
+	// MaxInstances is the pool ceiling (default MinInstances).
+	MaxInstances int
+	// TickSeconds is the control interval in simulated seconds (default 1).
+	// At most one scaling action is taken per tick.
+	TickSeconds float64
+	// UpBacklogSeconds triggers scale-up when the mean estimated backlog
+	// per routable instance exceeds it, or when any single instance's
+	// backlog exceeds twice it — a skewed workload can swamp one affinity
+	// home toward the admission bound while the mean stays quiet
+	// (default 4).
+	UpBacklogSeconds float64
+	// DownBacklogSeconds permits scale-down when the mean backlog is below
+	// it and the sliding window saw no sheds (default 0.5).
+	DownBacklogSeconds float64
+	// UpRejectRate triggers scale-up when the admission reject rate over
+	// the sliding window exceeds it (default 0: any shed triggers).
+	UpRejectRate float64
+	// WindowTicks is the sliding-window length for the reject-rate signal
+	// (default 8).
+	WindowTicks int
+	// CooldownSeconds damps scale-down flapping: after any scaling action
+	// the controller waits this long before draining an instance (default
+	// max(2·TickSeconds, cold start)).
+	CooldownSeconds float64
+	// ColdStartSeconds overrides the derived cold-start delay when
+	// positive; otherwise it is ColdStartSeconds(Model, GPU, gpus of the
+	// first instance the factory builds).
+	ColdStartSeconds float64
+	// Model and GPU are the catalog entries the cold-start delay is
+	// derived from; required unless ColdStartSeconds is set.
+	Model *model.Config
+	GPU   *hw.GPU
+	// KeepAlive keeps the tick loop alive when the simulation is
+	// otherwise idle. Online servers set it (traffic arrives from the
+	// wall clock); batch experiments leave it unset so the event queue
+	// drains and the run terminates.
+	KeepAlive bool
+}
+
+func (c *Config) defaults() error {
+	if c.MinInstances <= 0 {
+		c.MinInstances = 1
+	}
+	if c.MaxInstances <= 0 {
+		c.MaxInstances = c.MinInstances
+	}
+	if c.MaxInstances < c.MinInstances {
+		return fmt.Errorf("autoscale: MaxInstances %d < MinInstances %d", c.MaxInstances, c.MinInstances)
+	}
+	if c.TickSeconds <= 0 {
+		c.TickSeconds = 1
+	}
+	if c.UpBacklogSeconds <= 0 {
+		c.UpBacklogSeconds = 4
+	}
+	if c.DownBacklogSeconds <= 0 {
+		c.DownBacklogSeconds = 0.5
+	}
+	if c.WindowTicks <= 0 {
+		c.WindowTicks = 8
+	}
+	if c.ColdStartSeconds <= 0 && (c.Model == nil || c.GPU == nil) {
+		return fmt.Errorf("autoscale: need Model and GPU to derive the cold start (or set ColdStartSeconds)")
+	}
+	return nil
+}
+
+// Stats is the controller's cumulative activity.
+type Stats struct {
+	// ScaleUps and ScaleDowns count provisioning decisions (a scale-down
+	// is counted when the drain starts, not when the instance releases).
+	ScaleUps, ScaleDowns int
+	// Revives counts scale-ups satisfied by undraining a still-warm
+	// draining instance instead of cold-starting a new one.
+	Revives int
+	// PeakInstances and MinInstances bound the observed pool size
+	// (provisioning cold starts included).
+	PeakInstances, MinInstances int
+	// Ticks is the number of control intervals evaluated.
+	Ticks int
+	// ColdStartSeconds is the delay each scale-up paid.
+	ColdStartSeconds float64
+}
+
+// windowSample is one tick's admission-decision delta.
+type windowSample struct {
+	accepted, rejected int64
+}
+
+// Controller is the elastic pool controller.
+type Controller struct {
+	cfg     Config
+	s       *sim.Sim
+	rt      *router.Router
+	factory func() (engine.Engine, error)
+
+	pendingAdds int // scale-ups decided but still cold-starting
+	lastAction  float64
+	cooldown    float64
+	running     bool
+	stopped     bool
+	err         error
+
+	window       []windowSample
+	lastAccepted int64
+	lastRejected int64
+
+	// GPU-seconds accrue by integrating the owned-GPU gauge over time.
+	poolGPUs    int
+	gpuSeconds  float64
+	lastAccrual float64
+
+	stats Stats
+}
+
+// New builds a controller over a running router. The factory constructs
+// one new engine instance (profile run included) per scale-up; engines it
+// returns must be wired to the same simulation and completion sink as the
+// router's existing instances. The router's current instances are adopted
+// as the initial pool, provisioned as of the current simulated time.
+func New(cfg Config, s *sim.Sim, rt *router.Router, factory func() (engine.Engine, error)) (*Controller, error) {
+	if s == nil || rt == nil || factory == nil {
+		return nil, fmt.Errorf("autoscale: sim, router and factory are required")
+	}
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	if cfg.ColdStartSeconds <= 0 {
+		gpus := 1
+		if infos := rt.InstanceInfos(); len(infos) > 0 {
+			gpus = infos[0].GPUs
+		}
+		cfg.ColdStartSeconds = ColdStartSeconds(cfg.Model, cfg.GPU, gpus)
+	}
+	if cfg.CooldownSeconds <= 0 {
+		cfg.CooldownSeconds = max(2*cfg.TickSeconds, cfg.ColdStartSeconds)
+	}
+	size := rt.Size()
+	c := &Controller{
+		cfg:         cfg,
+		s:           s,
+		rt:          rt,
+		factory:     factory,
+		lastAction:  s.Now(),
+		poolGPUs:    rt.GPUs(),
+		lastAccrual: s.Now(),
+		stats: Stats{
+			PeakInstances:    size,
+			MinInstances:     size,
+			ColdStartSeconds: cfg.ColdStartSeconds,
+		},
+	}
+	return c, nil
+}
+
+// Start schedules the first control tick. Idempotent.
+func (c *Controller) Start() {
+	if c.running || c.stopped {
+		return
+	}
+	c.running = true
+	c.s.After(c.cfg.TickSeconds, c.tick)
+}
+
+// Stop ends the tick loop after the currently scheduled tick fires.
+func (c *Controller) Stop() { c.stopped = true }
+
+// Err reports the first factory failure; scaling up is disabled after one.
+func (c *Controller) Err() error { return c.err }
+
+// Size is the target pool size: routable instances plus cold-starting
+// additions, excluding draining instances.
+func (c *Controller) Size() int { return c.rt.Routable() + c.pendingAdds }
+
+// Stats returns the controller's activity so far.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// GPUSeconds accrues and returns the GPU-seconds provisioned up to now:
+// the integral of owned GPUs (cold-starting and draining included) over
+// time since construction.
+func (c *Controller) GPUSeconds(now float64) float64 {
+	c.accrue(now)
+	return c.gpuSeconds
+}
+
+func (c *Controller) accrue(now float64) {
+	if now > c.lastAccrual {
+		c.gpuSeconds += float64(c.poolGPUs) * (now - c.lastAccrual)
+		c.lastAccrual = now
+	}
+}
+
+// windowRates folds the current tick's admission delta into the sliding
+// window and returns the window's shed count and reject rate.
+func (c *Controller) windowRates() (rejects int64, rate float64) {
+	var acc, rej int64
+	for _, tally := range c.rt.Admission().Snapshot() {
+		acc += tally.Accepted
+		rej += tally.Rejected
+	}
+	c.window = append(c.window, windowSample{accepted: acc - c.lastAccepted, rejected: rej - c.lastRejected})
+	c.lastAccepted, c.lastRejected = acc, rej
+	if len(c.window) > c.cfg.WindowTicks {
+		c.window = c.window[len(c.window)-c.cfg.WindowTicks:]
+	}
+	var wAcc, wRej int64
+	for _, s := range c.window {
+		wAcc += s.accepted
+		wRej += s.rejected
+	}
+	if total := wAcc + wRej; total > 0 {
+		rate = float64(wRej) / float64(total)
+	}
+	return wRej, rate
+}
+
+// tick is one control interval: release drained instances, read the load
+// signals, and take at most one scaling action.
+func (c *Controller) tick() {
+	if c.stopped {
+		c.running = false
+		return
+	}
+	now := c.s.Now()
+	c.stats.Ticks++
+
+	rejects, rejectRate := c.windowRates()
+	var backlogSum, maxBacklog float64
+	routable := 0
+	var drainCandidate router.InstanceInfo
+	haveCandidate := false
+	for _, info := range c.rt.InstanceInfos() {
+		if info.Draining {
+			continue
+		}
+		routable++
+		backlogSum += info.Load.BacklogSeconds
+		if info.Load.BacklogSeconds > maxBacklog {
+			maxBacklog = info.Load.BacklogSeconds
+		}
+		if !haveCandidate ||
+			info.Load.BacklogSeconds < drainCandidate.Load.BacklogSeconds ||
+			(info.Load.BacklogSeconds == drainCandidate.Load.BacklogSeconds &&
+				info.Load.QueuedTokens < drainCandidate.Load.QueuedTokens) {
+			drainCandidate, haveCandidate = info, true
+		}
+	}
+	avgBacklog := 0.0
+	if routable > 0 {
+		avgBacklog = backlogSum / float64(routable)
+	}
+	n := routable + c.pendingAdds
+
+	switch {
+	case n < c.cfg.MinInstances:
+		// Below the floor (e.g. the pool was constructed small, or Min was
+		// raised): restore unconditionally.
+		c.scaleUp(now)
+	case n < c.cfg.MaxInstances && c.err == nil &&
+		(avgBacklog > c.cfg.UpBacklogSeconds ||
+			maxBacklog > 2*c.cfg.UpBacklogSeconds ||
+			(rejects > 0 && rejectRate > c.cfg.UpRejectRate)):
+		// Proportional step: provision enough instances to bring the mean
+		// backlog back to the trigger threshold, not one at a time — a
+		// square-wave burst otherwise outruns the tick-by-tick ramp by
+		// several cold starts. Sheds escalate to the ceiling outright: by
+		// the time admission control is dropping requests, the backlog
+		// signal has already been outrun, and a shed SLO costs more than
+		// the extra cold starts of an overshoot.
+		target := n + 1
+		if want := int(math.Ceil(backlogSum / c.cfg.UpBacklogSeconds)); want > target {
+			target = want
+		}
+		if rejects > 0 && rejectRate > c.cfg.UpRejectRate {
+			target = c.cfg.MaxInstances
+		}
+		if target > c.cfg.MaxInstances {
+			target = c.cfg.MaxInstances
+		}
+		for i := n; i < target; i++ {
+			c.scaleUp(now)
+		}
+	case routable > c.cfg.MinInstances && haveCandidate && rejects == 0 &&
+		avgBacklog < c.cfg.DownBacklogSeconds &&
+		now-c.lastAction >= c.cfg.CooldownSeconds:
+		// Graceful drain: the router stops offering the instance; a later
+		// tick releases it once its queue empties. The guard counts only
+		// routable instances — cold-starting additions must not license a
+		// drain, or the pool could briefly have nothing to route to (a
+		// short cooldown makes this reachable: scale up, backlog empties,
+		// drain fires while the addition is still loading weights).
+		if err := c.rt.Drain(drainCandidate.ID); err == nil {
+			c.stats.ScaleDowns++
+			c.lastAction = now
+		}
+	}
+
+	// Release draining instances whose in-flight work has finished — after
+	// the scaling decision, so a scale-up triggered this tick revives a
+	// warm drained instance instead of watching it released and then
+	// paying a cold start for the same capacity.
+	for _, info := range c.rt.InstanceInfos() {
+		if drained, err := c.rt.Drained(info.ID); err != nil || !drained {
+			continue
+		}
+		c.accrue(now)
+		if err := c.rt.Remove(info.ID); err == nil {
+			c.poolGPUs -= info.GPUs
+		}
+	}
+
+	if size := c.Size(); size > c.stats.PeakInstances {
+		c.stats.PeakInstances = size
+	} else if size < c.stats.MinInstances {
+		c.stats.MinInstances = size
+	}
+
+	// Keep ticking while there is anything left to react to: queued
+	// events (arrivals, executions, cold starts) or in-flight work. A
+	// batch run's event queue then drains and the simulation terminates;
+	// KeepAlive servers tick until stopped.
+	if c.cfg.KeepAlive || c.s.Pending() > 0 || c.rt.InFlight() > 0 {
+		c.s.After(c.cfg.TickSeconds, c.tick)
+	} else {
+		c.running = false
+	}
+}
+
+// scaleUp adds one instance of capacity. A still-draining instance is
+// revived first — its weights are already on the device, so undraining
+// restores capacity instantly instead of paying a cold start for
+// capacity the pool still owns. Otherwise a new engine is built now (the
+// GPU is owned from this moment) and becomes routable after the
+// cold-start delay.
+func (c *Controller) scaleUp(now float64) {
+	for _, info := range c.rt.InstanceInfos() {
+		if info.Draining {
+			if err := c.rt.Undrain(info.ID); err == nil {
+				c.stats.Revives++
+				c.lastAction = now
+				return
+			}
+		}
+	}
+	eng, err := c.factory()
+	if err != nil {
+		if c.err == nil {
+			c.err = fmt.Errorf("autoscale: building instance: %w", err)
+		}
+		return
+	}
+	c.accrue(now)
+	c.poolGPUs += eng.GPUs()
+	c.pendingAdds++
+	c.stats.ScaleUps++
+	c.lastAction = now
+	c.s.After(c.cfg.ColdStartSeconds, func() {
+		c.pendingAdds--
+		if _, err := c.rt.AddInstance(eng); err != nil && c.err == nil {
+			c.err = err
+		}
+	})
+}

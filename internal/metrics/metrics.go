@@ -206,10 +206,3 @@ func solve(a [][]float64, b []float64) ([]float64, error) {
 	}
 	return out, nil
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

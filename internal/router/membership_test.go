@@ -1,0 +1,272 @@
+package router
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// addInstance grows a test cluster by one wrapped instance.
+func addInstance(t *testing.T, s *sim.Sim, rt *Router) *countingEngine {
+	t.Helper()
+	cfg := engine.Config{
+		Model: model.Llama31_8B(), GPU: hw.L4(), Sim: s, ProfileMaxLen: 4000,
+		OnComplete: rt.Completed,
+	}
+	e, err := core.New(cfg, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &countingEngine{Engine: e}
+	if _, err := rt.AddInstance(w); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestUserHashRemapsOnMembershipChange checks UserHash stays a pure
+// function of (user, routable count): adding an instance remaps part of
+// the population onto it, and every request still lands on the user's
+// recomputed hash home.
+func TestUserHashRemapsOnMembershipChange(t *testing.T) {
+	var s sim.Sim
+	wrapped, engines, chain := testCluster(t, &s, 3)
+	rt, err := New(Config{Policy: UserHash{}}, engines...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	*chain = rt.Completed
+
+	const users = 60
+	id := int64(0)
+	submitAll := func() {
+		for user := 0; user < users; user++ {
+			id++
+			if err := rt.Submit(mkReq(id, user, 300)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Run()
+	}
+	submitAll()
+	for i, w := range wrapped {
+		for user := range w.users {
+			if home := homeOf(user, 3); home != i {
+				t.Fatalf("user %d on instance %d, want hash home %d of 3", user, i, home)
+			}
+		}
+	}
+
+	added := addInstance(t, &s, rt)
+	if rt.Routable() != 4 {
+		t.Fatalf("routable %d after add, want 4", rt.Routable())
+	}
+	before := make([]map[int]int, len(wrapped))
+	for i, w := range wrapped {
+		before[i] = make(map[int]int, len(w.users))
+		for u, n := range w.users {
+			before[i][u] = n
+		}
+	}
+	submitAll()
+	// Every user's new request must land on its recomputed home of 4.
+	all := append(append([]*countingEngine{}, wrapped...), added)
+	for i, w := range all {
+		for user, n := range w.users {
+			delta := n
+			if i < len(before) {
+				delta -= before[i][user]
+			}
+			if delta == 0 {
+				continue
+			}
+			if home := homeOf(user, 4); home != i {
+				t.Fatalf("user %d on instance %d after add, want hash home %d of 4", user, i, home)
+			}
+		}
+	}
+	if len(added.users) == 0 {
+		t.Fatal("no users remapped onto the added instance")
+	}
+	remapped := 0
+	for user := 0; user < users; user++ {
+		if homeOf(user, 3) != homeOf(user, 4) {
+			remapped++
+		}
+	}
+	// Modulo placement remaps ~3/4 of users on 3→4 (not consistent
+	// hashing); the test pins the policy's actual contract.
+	if remapped == 0 || remapped == users {
+		t.Fatalf("3->4 remapped %d of %d users; want a proper subset", remapped, users)
+	}
+}
+
+// TestPoliciesNeverPickDraining checks no policy routes to a draining
+// instance, including AffinityLoad when the draining instance holds the
+// user's warm prefix cache.
+func TestPoliciesNeverPickDraining(t *testing.T) {
+	var s sim.Sim
+	wrapped, engines, chain := testCluster(t, &s, 2)
+	rt, err := New(Config{Policy: AffinityLoad{}}, engines...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	*chain = rt.Completed
+
+	user := 3
+	home := homeOf(user, 2)
+	// Warm the user's prefix on its home instance.
+	if err := rt.Submit(mkPostReq(1, user, 1500, 500)); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if wrapped[home].users[user] != 1 {
+		t.Fatalf("warm request not on home instance %d", home)
+	}
+
+	// Drain the warm home: even with a cached prefix there, affinity must
+	// not offer it.
+	infos := rt.InstanceInfos()
+	if err := rt.Drain(infos[home].ID); err != nil {
+		t.Fatal(err)
+	}
+	for id := int64(2); id <= 9; id++ {
+		if err := rt.Submit(mkPostReq(id, user, 1500, 500)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	if got := wrapped[home].users[user]; got != 1 {
+		t.Fatalf("draining warm home received %d new requests", got-1)
+	}
+	if got := wrapped[1-home].users[user]; got != 8 {
+		t.Fatalf("surviving instance received %d of 8 post-drain requests", got)
+	}
+
+	// Same contract for the load-driven policies on a fresh view.
+	for _, pol := range []Policy{LeastLoaded{}, UserHash{}} {
+		rt.cfg.Policy = pol
+		start := wrapped[home].tokens
+		for id := int64(10); id <= 29; id++ {
+			if err := rt.Submit(mkReq(id*100+int64(len(pol.Name())), int(id), 400)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Run()
+		if wrapped[home].tokens != start {
+			t.Fatalf("%s routed tokens to a draining instance", pol.Name())
+		}
+	}
+}
+
+// TestInstanceIDsNeverReused checks stable-ID safety across add/drain/
+// remove cycles: IDs grow monotonically, removed IDs never come back, and
+// in-flight request accounting survives membership churn.
+func TestInstanceIDsNeverReused(t *testing.T) {
+	var s sim.Sim
+	_, engines, chain := testCluster(t, &s, 2)
+	rt, err := New(Config{Policy: LeastLoaded{}}, engines...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	*chain = rt.Completed
+
+	seen := make(map[int]bool)
+	for _, info := range rt.InstanceInfos() {
+		if seen[info.ID] {
+			t.Fatalf("duplicate initial instance ID %d", info.ID)
+		}
+		seen[info.ID] = true
+	}
+	id := int64(0)
+	for cycle := 0; cycle < 4; cycle++ {
+		w := addInstance(t, &s, rt)
+		var newID int
+		found := false
+		for _, info := range rt.InstanceInfos() {
+			if seen[info.ID] {
+				continue
+			}
+			if found {
+				t.Fatalf("two unseen IDs after one add (cycle %d)", cycle)
+			}
+			newID, found = info.ID, true
+		}
+		if !found {
+			t.Fatalf("cycle %d: added instance has a recycled ID", cycle)
+		}
+		seen[newID] = true
+
+		// Route work through the grown cluster, then drain and remove the
+		// newcomer mid-flight: removal must wait for its queue.
+		for i := 0; i < 9; i++ {
+			id++
+			if err := rt.Submit(mkReq(id, int(id), 600)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := rt.Drain(newID); err != nil {
+			t.Fatal(err)
+		}
+		if w.users != nil && len(w.users) > 0 {
+			if err := rt.Remove(newID); err == nil {
+				t.Fatalf("cycle %d: removed an instance with in-flight work", cycle)
+			}
+		}
+		s.Run()
+		if drained, err := rt.Drained(newID); err != nil || !drained {
+			t.Fatalf("cycle %d: not drained after run (err %v)", cycle, err)
+		}
+		if err := rt.Remove(newID); err != nil {
+			t.Fatalf("cycle %d: remove: %v", cycle, err)
+		}
+		if rt.Size() != 2 {
+			t.Fatalf("cycle %d: size %d, want 2", cycle, rt.Size())
+		}
+	}
+	if rt.InFlight() != 0 {
+		t.Fatalf("in-flight %d after churn", rt.InFlight())
+	}
+	for _, l := range rt.Loads() {
+		if l.QueuedRequests != 0 || l.BacklogSeconds != 0 {
+			t.Fatalf("leaked load after churn: %+v", l)
+		}
+	}
+}
+
+// TestRemoveGuards checks Remove refuses live and unknown instances and
+// Submit fails cleanly when everything is draining.
+func TestRemoveGuards(t *testing.T) {
+	var s sim.Sim
+	_, engines, chain := testCluster(t, &s, 2)
+	rt, err := New(Config{}, engines...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	*chain = rt.Completed
+	infos := rt.InstanceInfos()
+
+	if err := rt.Remove(infos[0].ID); err == nil {
+		t.Error("removed a non-draining instance")
+	}
+	if err := rt.Remove(12345); err == nil {
+		t.Error("removed an unknown instance")
+	}
+	if err := rt.Drain(12345); err == nil {
+		t.Error("drained an unknown instance")
+	}
+	for _, info := range infos {
+		if err := rt.Drain(info.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = rt.Submit(mkReq(1, 1, 200))
+	if err == nil || !strings.Contains(err.Error(), "no routable instances") {
+		t.Errorf("submit with all draining: %v", err)
+	}
+}

@@ -10,6 +10,14 @@
 // interface; see policy.go for the three built-ins the experiments compare
 // (UserHash, LeastLoaded, AffinityLoad).
 //
+// Membership is dynamic: instances can be added while the router runs
+// (AddInstance), marked draining (Drain) so policies stop offering them
+// while their in-flight work finishes, and removed once drained (Remove).
+// Every instance has a stable ID that is never reused, so load accounting
+// and autoscaler bookkeeping survive arbitrary add/drain/remove cycles.
+// internal/autoscale drives this lifecycle from backlog and admission
+// signals.
+//
 // The router is not goroutine-safe: simulation drivers call it from
 // single-threaded event handlers, and the HTTP backend serializes access
 // under its own lock.
@@ -41,13 +49,27 @@ type Load struct {
 	RoutedTokens   int64
 }
 
+// InstanceInfo is one instance's identity and live state, for stats
+// endpoints and the autoscaler.
+type InstanceInfo struct {
+	// ID is the instance's stable router ID (never reused).
+	ID int
+	// Draining reports whether the instance is excluded from routing and
+	// finishing its in-flight work.
+	Draining bool
+	// GPUs is the device count the instance occupies.
+	GPUs int
+	// Load is the instance's live load.
+	Load Load
+}
+
 // RejectError is the typed error Submit returns when admission control
 // sheds a request: the chosen instance's projected completion wait
 // (backlog plus the request's own estimated execution) exceeds the bound.
 type RejectError struct {
 	// Policy is the routing policy that chose the instance.
 	Policy string
-	// Instance is the chosen instance index.
+	// Instance is the chosen instance's stable ID.
 	Instance int
 	// BacklogSeconds is the instance's estimated backlog at rejection.
 	BacklogSeconds float64
@@ -93,9 +115,11 @@ const fallbackSecondsPerToken = 1e-4
 const estimatorProbeLen = 4096
 
 type instanceState struct {
-	eng  engine.Engine
-	est  jct.Estimator
-	load Load
+	id       int
+	eng      engine.Engine
+	est      jct.Estimator
+	load     Load
+	draining bool
 	// pendingBlocks refcounts the block hashes of routed, not-yet-
 	// completed requests. Merged into hit estimation so that concurrent
 	// requests sharing a prefix are attracted to the instance already
@@ -106,18 +130,24 @@ type instanceState struct {
 
 // pending is the bookkeeping of one routed, not-yet-completed request.
 type pending struct {
-	instance int
+	instance int // stable instance ID
 	tokens   int64
 	seconds  float64
 	hashes   []uint64
 }
 
-// Router routes requests across a fixed set of engine instances.
+// Router routes requests across a dynamic set of engine instances.
 type Router struct {
 	cfg       Config
-	instances []*instanceState
-	inflight  map[int64]pending
-	admission *metrics.Admission
+	instances []*instanceState // creation order, compacted on Remove
+	byID      map[int]*instanceState
+	nextID    int
+	// routableCache is the non-draining subset in slot order, rebuilt
+	// lazily after membership or drain changes.
+	routableCache []*instanceState
+	routableDirty bool
+	inflight      map[int64]pending
+	admission     *metrics.Admission
 }
 
 // estimatorEngine is satisfied by engines that expose a calibrated JCT
@@ -149,21 +179,119 @@ func New(cfg Config, instances ...engine.Engine) (*Router, error) {
 		admission = &metrics.Admission{}
 	}
 	rt := &Router{
-		cfg:       cfg,
-		inflight:  make(map[int64]pending),
-		admission: admission,
+		cfg:           cfg,
+		byID:          make(map[int]*instanceState),
+		routableDirty: true,
+		inflight:      make(map[int64]pending),
+		admission:     admission,
 	}
-	for i, e := range instances {
-		if e == nil {
-			return nil, fmt.Errorf("router: instance %d is nil", i)
+	for _, e := range instances {
+		if _, err := rt.AddInstance(e); err != nil {
+			return nil, err
 		}
-		rt.instances = append(rt.instances, &instanceState{
-			eng:           e,
-			est:           resolveEstimator(cfg, e),
-			pendingBlocks: make(map[uint64]int),
-		})
 	}
 	return rt, nil
+}
+
+// AddInstance registers a new routable instance and returns its stable ID.
+// IDs are never reused, so an autoscaler can add and remove instances in
+// any order without aliasing load accounting.
+func (rt *Router) AddInstance(e engine.Engine) (int, error) {
+	if e == nil {
+		return 0, fmt.Errorf("router: instance is nil")
+	}
+	st := &instanceState{
+		id:            rt.nextID,
+		eng:           e,
+		est:           resolveEstimator(rt.cfg, e),
+		pendingBlocks: make(map[uint64]int),
+	}
+	rt.nextID++
+	rt.instances = append(rt.instances, st)
+	rt.byID[st.id] = st
+	rt.routableDirty = true
+	return st.id, nil
+}
+
+// Drain marks an instance draining: policies stop seeing it, so no new
+// requests route to it, while its in-flight work runs to completion.
+// Draining an already-draining instance is a no-op.
+func (rt *Router) Drain(id int) error {
+	st, ok := rt.byID[id]
+	if !ok {
+		return fmt.Errorf("router: unknown instance %d", id)
+	}
+	if !st.draining {
+		st.draining = true
+		rt.routableDirty = true
+	}
+	return nil
+}
+
+// Undrain returns a draining instance to the routable set — the
+// autoscaler's rescue path when load returns while a warm instance is
+// still draining: reviving it restores capacity instantly, where a fresh
+// instance would pay a full cold start. Undraining a non-draining
+// instance is a no-op.
+func (rt *Router) Undrain(id int) error {
+	st, ok := rt.byID[id]
+	if !ok {
+		return fmt.Errorf("router: unknown instance %d", id)
+	}
+	if st.draining {
+		st.draining = false
+		rt.routableDirty = true
+	}
+	return nil
+}
+
+// Drained reports whether a draining instance has finished its in-flight
+// work and may be removed.
+func (rt *Router) Drained(id int) (bool, error) {
+	st, ok := rt.byID[id]
+	if !ok {
+		return false, fmt.Errorf("router: unknown instance %d", id)
+	}
+	return st.draining && st.load.QueuedRequests == 0, nil
+}
+
+// Remove releases a drained instance. It must be draining with no
+// in-flight work; removing a live instance would strand the load
+// accounting of its queued requests.
+func (rt *Router) Remove(id int) error {
+	st, ok := rt.byID[id]
+	if !ok {
+		return fmt.Errorf("router: unknown instance %d", id)
+	}
+	if !st.draining {
+		return fmt.Errorf("router: instance %d is not draining", id)
+	}
+	if st.load.QueuedRequests > 0 {
+		return fmt.Errorf("router: instance %d still has %d in-flight requests", id, st.load.QueuedRequests)
+	}
+	for i, s := range rt.instances {
+		if s == st {
+			rt.instances = append(rt.instances[:i], rt.instances[i+1:]...)
+			break
+		}
+	}
+	delete(rt.byID, id)
+	rt.routableDirty = true
+	return nil
+}
+
+// routable returns the non-draining instances in slot order.
+func (rt *Router) routable() []*instanceState {
+	if rt.routableDirty {
+		rt.routableCache = rt.routableCache[:0]
+		for _, st := range rt.instances {
+			if !st.draining {
+				rt.routableCache = append(rt.routableCache, st)
+			}
+		}
+		rt.routableDirty = false
+	}
+	return rt.routableCache
 }
 
 // resolveEstimator picks the JCT estimator used to price an instance's
@@ -190,7 +318,8 @@ func resolveEstimator(cfg Config, e engine.Engine) jct.Estimator {
 	return &jct.Proxy{SecondsPerMissToken: fallbackSecondsPerToken}
 }
 
-// Instances returns the routed engines.
+// Instances returns every routed engine (including draining ones) in slot
+// order.
 func (rt *Router) Instances() []engine.Engine {
 	out := make([]engine.Engine, len(rt.instances))
 	for i, st := range rt.instances {
@@ -198,6 +327,12 @@ func (rt *Router) Instances() []engine.Engine {
 	}
 	return out
 }
+
+// Size returns the current instance count, draining included.
+func (rt *Router) Size() int { return len(rt.instances) }
+
+// Routable returns the number of instances policies can pick.
+func (rt *Router) Routable() int { return len(rt.routable()) }
 
 // GPUs returns the total GPUs occupied by the routed instances.
 func (rt *Router) GPUs() int {
@@ -214,7 +349,8 @@ func (rt *Router) Policy() Policy { return rt.cfg.Policy }
 // Admission returns the router's accept/reject tally.
 func (rt *Router) Admission() *metrics.Admission { return rt.admission }
 
-// Loads returns a snapshot of every instance's load.
+// Loads returns a snapshot of every instance's load (draining included) in
+// slot order.
 func (rt *Router) Loads() []Load {
 	out := make([]Load, len(rt.instances))
 	for i, st := range rt.instances {
@@ -223,26 +359,35 @@ func (rt *Router) Loads() []Load {
 	return out
 }
 
+// InstanceInfos returns every instance's identity and live state
+// (draining included) in slot order.
+func (rt *Router) InstanceInfos() []InstanceInfo {
+	out := make([]InstanceInfo, len(rt.instances))
+	for i, st := range rt.instances {
+		out[i] = InstanceInfo{ID: st.id, Draining: st.draining, GPUs: st.eng.GPUs(), Load: st.load}
+	}
+	return out
+}
+
 // InFlight returns the number of routed requests not yet completed.
 func (rt *Router) InFlight() int { return len(rt.inflight) }
 
-// estSeconds prices a request on instance i: the instance estimator
+// estSeconds prices a request on an instance: the instance estimator
 // evaluated at the request's current prefix-cache hit length there
 // (peeked, so routing sweeps do not disturb LRU order).
-func (rt *Router) estSeconds(i int, r *sched.Request, hit int) float64 {
+func estSeconds(st *instanceState, r *sched.Request, hit int) float64 {
 	if hit > r.Len() {
 		hit = r.Len()
 	}
-	return rt.instances[i].est.Estimate(r.Len(), hit)
+	return st.est.Estimate(r.Len(), hit)
 }
 
-// hitTokens estimates the request's prefix-cache hit length on instance i
+// hitTokens estimates the request's prefix-cache hit length on an instance
 // without touching LRU order or hit-rate statistics. A block counts as hit
 // when it is cached or when a request already routed to the instance is
 // about to cache it (pending), so the estimate reflects the near future
 // rather than stampeding shared prefixes across instances.
-func (rt *Router) hitTokens(i int, r *sched.Request) int {
-	st := rt.instances[i]
+func hitTokens(st *instanceState, r *sched.Request) int {
 	c := st.eng.Cache()
 	if c == nil {
 		return 0
@@ -260,44 +405,46 @@ func (rt *Router) hitTokens(i int, r *sched.Request) int {
 	return hit
 }
 
-// view adapts the router to the Policy View interface, memoizing the
-// per-instance hit walk for the request being routed: AffinityLoad scans
-// every instance and then re-scores two finalists, and Submit's admission
-// check needs the chosen instance's hit again — each would otherwise
-// re-walk the prompt's block chain (hundreds of map lookups on long
-// prompts) on the routing hot path.
+// view adapts the router to the Policy View interface over a snapshot of
+// the routable instances, memoizing the per-instance hit walk for the
+// request being routed: AffinityLoad scans every instance and then
+// re-scores two finalists, and Submit's admission check needs the chosen
+// instance's hit again — each would otherwise re-walk the prompt's block
+// chain (hundreds of map lookups on long prompts) on the routing hot path.
 type view struct {
-	rt   *Router
-	r    *sched.Request
-	hits []int // per-instance hit, -1 = not yet computed
+	insts []*instanceState
+	r     *sched.Request
+	hits  []int // per-instance hit, -1 = not yet computed
 }
 
 func (rt *Router) newView(r *sched.Request) *view {
-	hits := make([]int, len(rt.instances))
+	insts := rt.routable()
+	hits := make([]int, len(insts))
 	for i := range hits {
 		hits[i] = -1
 	}
-	return &view{rt: rt, r: r, hits: hits}
+	return &view{insts: insts, r: r, hits: hits}
 }
 
-func (v *view) Instances() int  { return len(v.rt.instances) }
-func (v *view) Load(i int) Load { return v.rt.instances[i].load }
+func (v *view) Instances() int  { return len(v.insts) }
+func (v *view) Load(i int) Load { return v.insts[i].load }
 func (v *view) HitTokens(i int, r *sched.Request) int {
 	if r != v.r {
-		return v.rt.hitTokens(i, r)
+		return hitTokens(v.insts[i], r)
 	}
 	if v.hits[i] < 0 {
-		v.hits[i] = v.rt.hitTokens(i, r)
+		v.hits[i] = hitTokens(v.insts[i], r)
 	}
 	return v.hits[i]
 }
 func (v *view) EstSeconds(i int, r *sched.Request, hit int) float64 {
-	return v.rt.estSeconds(i, r, hit)
+	return estSeconds(v.insts[i], r, hit)
 }
 
-// Submit routes a request: the policy picks an instance, admission control
-// accepts or sheds, and the request is handed to the instance's engine.
-// A shed request is returned as a *RejectError and never enqueued.
+// Submit routes a request: the policy picks an instance among the
+// routable (non-draining) ones, admission control accepts or sheds, and
+// the request is handed to the instance's engine. A shed request is
+// returned as a *RejectError and never enqueued.
 func (rt *Router) Submit(r *sched.Request) error {
 	// IDs are caller-assigned and key the load accounting: a duplicate
 	// would overwrite the pending entry and leak load forever.
@@ -305,18 +452,21 @@ func (rt *Router) Submit(r *sched.Request) error {
 		return fmt.Errorf("router: request ID %d is already in flight", r.ID)
 	}
 	v := rt.newView(r)
-	idx := rt.cfg.Policy.Pick(r, v)
-	if idx < 0 || idx >= len(rt.instances) {
-		return fmt.Errorf("router: policy %s picked out-of-range instance %d of %d",
-			rt.cfg.Policy.Name(), idx, len(rt.instances))
+	if len(v.insts) == 0 {
+		return fmt.Errorf("router: no routable instances (all draining)")
 	}
-	st := rt.instances[idx]
-	est := rt.estSeconds(idx, r, v.HitTokens(idx, r))
+	idx := rt.cfg.Policy.Pick(r, v)
+	if idx < 0 || idx >= len(v.insts) {
+		return fmt.Errorf("router: policy %s picked out-of-range instance %d of %d",
+			rt.cfg.Policy.Name(), idx, len(v.insts))
+	}
+	st := v.insts[idx]
+	est := estSeconds(st, r, v.HitTokens(idx, r))
 	if bound := rt.cfg.MaxBacklogSeconds; bound > 0 && st.load.BacklogSeconds+est > bound {
 		rt.admission.Reject(rt.cfg.Policy.Name())
 		return &RejectError{
 			Policy:          rt.cfg.Policy.Name(),
-			Instance:        idx,
+			Instance:        st.id,
 			BacklogSeconds:  st.load.BacklogSeconds,
 			EstimateSeconds: est,
 			BoundSeconds:    bound,
@@ -330,7 +480,7 @@ func (rt *Router) Submit(r *sched.Request) error {
 			st.pendingBlocks[h]++
 		}
 	}
-	rt.inflight[r.ID] = pending{instance: idx, tokens: int64(r.Len()), seconds: est, hashes: hashes}
+	rt.inflight[r.ID] = pending{instance: st.id, tokens: int64(r.Len()), seconds: est, hashes: hashes}
 	st.load.QueuedRequests++
 	st.load.QueuedTokens += int64(r.Len())
 	st.load.BacklogSeconds += est
@@ -349,7 +499,12 @@ func (rt *Router) Completed(rec engine.Record) {
 		return
 	}
 	delete(rt.inflight, rec.Req.ID)
-	st := rt.instances[p.instance]
+	st, ok := rt.byID[p.instance]
+	if !ok {
+		// Removal requires a fully drained instance, so the instance of an
+		// in-flight request cannot have been removed.
+		return
+	}
 	st.load.QueuedRequests--
 	st.load.QueuedTokens -= p.tokens
 	st.load.BacklogSeconds -= p.seconds

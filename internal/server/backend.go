@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/autoscale"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/router"
@@ -44,7 +45,8 @@ type Backend struct {
 	mu      sync.Mutex
 	sim     *sim.Sim
 	engines []*core.Engine
-	rt      *router.Router // nil in single-engine mode
+	rt      *router.Router        // nil in single-engine mode
+	ctl     *autoscale.Controller // nil without autoscaling
 	started time.Time
 	nextID  int64
 	waiters map[int64]chan Result
@@ -97,6 +99,32 @@ func NewBackend(cfg engine.Config, opts core.Options, speedup float64) (*Backend
 // instance when every alternative is worse). cfg.Sim and cfg.OnComplete
 // must be unset; the backend owns them.
 func NewRoutedBackend(cfg engine.Config, opts core.Options, speedup float64, instances int, rcfg router.Config) (*Backend, error) {
+	return newRouted(cfg, opts, speedup, instances, rcfg, nil)
+}
+
+// NewAutoscaledBackend is NewRoutedBackend with an elastic instance pool:
+// the cluster starts at acfg.MinInstances engines and an
+// autoscale.Controller grows and shrinks it between the configured floor
+// and ceiling from the router's live load. acfg.Model, GPU and KeepAlive
+// are owned by the backend (derived from cfg; the controller must tick as
+// long as the server is up). An unset TickSeconds defaults to one control
+// decision per wall millisecond: the tick is a simulated-seconds
+// interval, so at high speedups a sim-time default would flood the event
+// loop with control ticks between completions.
+func NewAutoscaledBackend(cfg engine.Config, opts core.Options, speedup float64, rcfg router.Config, acfg autoscale.Config) (*Backend, error) {
+	if acfg.MinInstances <= 0 {
+		acfg.MinInstances = 1
+	}
+	if acfg.TickSeconds <= 0 {
+		if speedup <= 0 {
+			speedup = 1000
+		}
+		acfg.TickSeconds = max(1, speedup/1000)
+	}
+	return newRouted(cfg, opts, speedup, acfg.MinInstances, rcfg, &acfg)
+}
+
+func newRouted(cfg engine.Config, opts core.Options, speedup float64, instances int, rcfg router.Config, acfg *autoscale.Config) (*Backend, error) {
 	if cfg.Sim != nil || cfg.OnComplete != nil {
 		return nil, fmt.Errorf("server: Sim and OnComplete are owned by the backend")
 	}
@@ -106,13 +134,20 @@ func NewRoutedBackend(cfg engine.Config, opts core.Options, speedup float64, ins
 	b := newBackendBase(speedup)
 	cfg.Sim = b.sim
 	cfg.OnComplete = b.onComplete
-	engines := make([]engine.Engine, instances)
-	for i := range engines {
+	factory := func() (engine.Engine, error) {
 		eng, err := core.New(cfg, opts)
 		if err != nil {
 			return nil, err
 		}
 		b.engines = append(b.engines, eng)
+		return eng, nil
+	}
+	engines := make([]engine.Engine, instances)
+	for i := range engines {
+		eng, err := factory()
+		if err != nil {
+			return nil, err
+		}
 		engines[i] = eng
 	}
 	rt, err := router.New(rcfg, engines...)
@@ -120,19 +155,139 @@ func NewRoutedBackend(cfg engine.Config, opts core.Options, speedup float64, ins
 		return nil, err
 	}
 	b.rt = rt
+	if acfg != nil {
+		acfg.Model = cfg.Model
+		acfg.GPU = cfg.GPU
+		acfg.KeepAlive = true
+		ctl, err := autoscale.New(*acfg, b.sim, rt, factory)
+		if err != nil {
+			return nil, err
+		}
+		b.ctl = ctl
+		ctl.Start()
+	}
 	go b.loop()
 	return b, nil
 }
 
 // Engine exposes the first PrefillOnly engine (read-only use; the only
 // engine in single-engine mode).
-func (b *Backend) Engine() *core.Engine { return b.engines[0] }
+func (b *Backend) Engine() *core.Engine {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.engines[0]
+}
 
-// Engines exposes every instance (read-only use).
-func (b *Backend) Engines() []*core.Engine { return b.engines }
+// Engines exposes every instance ever created (read-only use; an
+// autoscaled backend's released instances stay listed, so cumulative
+// cache statistics survive scale-down).
+func (b *Backend) Engines() []*core.Engine {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]*core.Engine(nil), b.engines...)
+}
 
 // Router exposes the routing frontend (nil in single-engine mode).
 func (b *Backend) Router() *router.Router { return b.rt }
+
+// Autoscaler exposes the pool controller (nil unless autoscaled).
+func (b *Backend) Autoscaler() *autoscale.Controller { return b.ctl }
+
+// InstanceStats is one instance's identity and live load in a
+// StatsSnapshot.
+type InstanceStats struct {
+	ID             int     `json:"id"`
+	Draining       bool    `json:"draining"`
+	GPUs           int     `json:"gpus"`
+	QueuedRequests int     `json:"queued_requests"`
+	QueuedTokens   int64   `json:"queued_tokens"`
+	BacklogSeconds float64 `json:"backlog_seconds"`
+	RoutedRequests int64   `json:"routed_requests"`
+	RoutedTokens   int64   `json:"routed_tokens"`
+}
+
+// AutoscaleStats reports the pool controller's state in a StatsSnapshot.
+type AutoscaleStats struct {
+	PoolSize         int     `json:"pool_size"`
+	ScaleUps         int     `json:"scale_ups"`
+	ScaleDowns       int     `json:"scale_downs"`
+	Revives          int     `json:"revives"`
+	PeakInstances    int     `json:"peak_instances"`
+	TroughInstances  int     `json:"trough_instances"`
+	ColdStartSeconds float64 `json:"cold_start_seconds"`
+	GPUSeconds       float64 `json:"gpu_seconds"`
+}
+
+// StatsSnapshot is the /v1/stats payload: the router's live per-instance
+// loads, the admission tally, and the autoscaler's pool state.
+type StatsSnapshot struct {
+	SimSeconds float64         `json:"sim_seconds"`
+	Instances  []InstanceStats `json:"instances"`
+	Routable   int             `json:"routable"`
+	// Admission maps policy name to its accept/reject counts (empty in
+	// single-engine mode, which has no admission control).
+	Admission map[string]AdmissionStats `json:"admission"`
+	Autoscale *AutoscaleStats           `json:"autoscale,omitempty"`
+}
+
+// AdmissionStats is one policy's accept/reject tally in a StatsSnapshot.
+type AdmissionStats struct {
+	Accepted int64 `json:"accepted"`
+	Rejected int64 `json:"rejected"`
+}
+
+// Stats gathers a consistent snapshot of the serving cluster's state.
+func (b *Backend) Stats() StatsSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.sim.Now()
+	snap := StatsSnapshot{
+		SimSeconds: now,
+		Admission:  map[string]AdmissionStats{},
+	}
+	if b.rt == nil {
+		// Single-engine mode: synthesize one instance row. In-flight
+		// requests are the backend's unanswered waiters (queued or
+		// executing); token and backlog accounting only exists in routed
+		// mode, where the router prices submissions.
+		snap.Routable = 1
+		snap.Instances = []InstanceStats{{
+			GPUs:           b.engines[0].GPUs(),
+			QueuedRequests: len(b.waiters),
+		}}
+		return snap
+	}
+	for _, info := range b.rt.InstanceInfos() {
+		snap.Instances = append(snap.Instances, InstanceStats{
+			ID:             info.ID,
+			Draining:       info.Draining,
+			GPUs:           info.GPUs,
+			QueuedRequests: info.Load.QueuedRequests,
+			QueuedTokens:   info.Load.QueuedTokens,
+			BacklogSeconds: info.Load.BacklogSeconds,
+			RoutedRequests: info.Load.RoutedRequests,
+			RoutedTokens:   info.Load.RoutedTokens,
+		})
+	}
+	snap.Routable = b.rt.Routable()
+	for pol, c := range b.rt.Admission().Snapshot() {
+		snap.Admission[pol] = AdmissionStats{Accepted: c.Accepted, Rejected: c.Rejected}
+	}
+	if b.ctl != nil {
+		st := b.ctl.Stats()
+		snap.Autoscale = &AutoscaleStats{
+			PoolSize:         b.ctl.Size(),
+			ScaleUps:         st.ScaleUps,
+			ScaleDowns:       st.ScaleDowns,
+			Revives:          st.Revives,
+			PeakInstances:    st.PeakInstances,
+			TroughInstances:  st.MinInstances,
+			ColdStartSeconds: st.ColdStartSeconds,
+			GPUSeconds:       b.ctl.GPUSeconds(now),
+		}
+	}
+	return snap
+}
 
 // simNow maps wall time to simulated seconds.
 func (b *Backend) simNow() float64 {

@@ -67,6 +67,7 @@ func NewHandler(b *Backend, modelName string) *Handler {
 	h := &Handler{Backend: b, ModelName: modelName, mux: http.NewServeMux()}
 	h.mux.HandleFunc("/v1/completions", h.completions)
 	h.mux.HandleFunc("/v1/models", h.models)
+	h.mux.HandleFunc("/v1/stats", h.stats)
 	h.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -92,6 +93,16 @@ func (h *Handler) models(w http.ResponseWriter, r *http.Request) {
 			{"id": h.ModelName, "object": "model", "owned_by": "prefillonly"},
 		},
 	})
+}
+
+// stats reports the cluster's live state: per-instance router loads,
+// the admission tally, and (when autoscaled) the pool controller.
+func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, apiError{"GET required"})
+		return
+	}
+	writeJSON(w, http.StatusOK, h.Backend.Stats())
 }
 
 func (h *Handler) completions(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/autoscale"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/router"
+)
+
+func TestAutoscaledBackendStats(t *testing.T) {
+	b, err := NewAutoscaledBackend(engine.Config{
+		Model:         model.Llama31_8B(),
+		GPU:           hw.L4(),
+		ProfileMaxLen: 4000,
+	}, core.Options{}, 1e7, router.Config{}, autoscale.Config{
+		MinInstances: 1, MaxInstances: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(b.Close)
+	if b.Autoscaler() == nil {
+		t.Fatal("autoscaled backend has no controller")
+	}
+	if _, err := b.Submit("Recommend this post to the user? Answer:", nil, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	h := NewHandler(b, "test-model")
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/stats status %d", resp.StatusCode)
+	}
+	var snap StatsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Instances) == 0 {
+		t.Fatal("stats reported no instances")
+	}
+	if snap.Routable < 1 {
+		t.Fatalf("routable %d, want >= 1", snap.Routable)
+	}
+	if snap.Autoscale == nil {
+		t.Fatal("stats missing autoscale block")
+	}
+	if snap.Autoscale.PoolSize < 1 || snap.Autoscale.ColdStartSeconds <= 0 {
+		t.Fatalf("autoscale block %+v", snap.Autoscale)
+	}
+	tally, ok := snap.Admission["affinity"]
+	if !ok || tally.Accepted != 1 {
+		t.Fatalf("admission block %+v", snap.Admission)
+	}
+
+	// POST is rejected.
+	resp2, err := http.Post(srv.URL+"/v1/stats", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/stats status %d", resp2.StatusCode)
+	}
+}
+
+func TestRoutedBackendStatsWithoutAutoscale(t *testing.T) {
+	b := testRoutedBackend(t, 2, router.Config{Policy: router.LeastLoaded{}})
+	snap := b.Stats()
+	if len(snap.Instances) != 2 || snap.Routable != 2 {
+		t.Fatalf("snapshot shape %+v", snap)
+	}
+	if snap.Autoscale != nil {
+		t.Fatal("unexpected autoscale block on a fixed pool")
+	}
+}
+
+func TestSingleEngineStats(t *testing.T) {
+	b, err := NewBackend(engine.Config{
+		Model:         model.Llama31_8B(),
+		GPU:           hw.L4(),
+		ProfileMaxLen: 4000,
+	}, core.Options{}, 1e7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(b.Close)
+	snap := b.Stats()
+	if len(snap.Instances) != 1 || snap.Routable != 1 || snap.Autoscale != nil {
+		t.Fatalf("single-engine snapshot %+v", snap)
+	}
+}

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// RateFn is a time-varying offered load in requests/second at simulated
+// time t. Real traffic is diurnal and bursty, not stationary; the
+// autoscale experiments drive the cluster with these profiles instead of
+// the paper's homogeneous Poisson process.
+type RateFn func(t float64) float64
+
+// SquareWaveRate alternates between base and peak requests/second: each
+// period starts with peak load for duty·period seconds, then falls back to
+// base. This is the worst case for an autoscaler — the rate jumps
+// instantly by peak/base, so every scale-up decision races a filling
+// backlog against the cold-start delay.
+func SquareWaveRate(base, peak, period, duty float64) RateFn {
+	return func(t float64) float64 {
+		phase := math.Mod(t, period)
+		if phase < 0 {
+			phase += period
+		}
+		if phase < duty*period {
+			return peak
+		}
+		return base
+	}
+}
+
+// DiurnalRate is a smooth day/night cycle: a raised cosine between base
+// (trough) and peak (midday) with the given period. Unlike the square
+// wave, load changes gradually, so a trailing-signal autoscaler can track
+// it almost losslessly.
+func DiurnalRate(base, peak, period float64) RateFn {
+	return func(t float64) float64 {
+		return base + (peak-base)*0.5*(1-math.Cos(2*math.Pi*t/period))
+	}
+}
+
+// AssignOpenLoopArrivals stamps arrival times on a dataset from a
+// non-homogeneous Poisson process with rate rate(t), via Lewis-Shedler
+// thinning: candidate arrivals are drawn at maxRate and kept with
+// probability rate(t)/maxRate. Requests are assigned in dataset order
+// (the arrival process is open-loop per request, not per user — the
+// bursty scenarios model aggregate traffic, not one application's
+// fan-out). rate values above maxRate are effectively clamped to maxRate;
+// rate must be positive somewhere recurrently or generation cannot
+// terminate. The returned slice is sorted by time and each request's
+// ArrivalTime field is set.
+func AssignOpenLoopArrivals(d *Dataset, rate RateFn, maxRate float64, seed int64) ([]Arrival, error) {
+	if rate == nil {
+		return nil, fmt.Errorf("workload: rate function is required")
+	}
+	if maxRate <= 0 {
+		return nil, fmt.Errorf("workload: maxRate must be positive, got %v", maxRate)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Arrival, 0, len(d.Requests))
+	t := 0.0
+	for _, r := range d.Requests {
+		for {
+			t += rng.ExpFloat64() / maxRate
+			if rng.Float64()*maxRate < rate(t) {
+				break
+			}
+		}
+		r.ArrivalTime = t
+		out = append(out, Arrival{Req: r, Time: t})
+	}
+	return out, nil
+}

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSquareWaveRate(t *testing.T) {
+	r := SquareWaveRate(2, 20, 100, 0.25)
+	cases := []struct {
+		t    float64
+		want float64
+	}{
+		{0, 20}, {24.9, 20}, {25, 2}, {99, 2}, {100, 20}, {126, 2}, {210, 20},
+	}
+	for _, c := range cases {
+		if got := r(c.t); got != c.want {
+			t.Errorf("rate(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+}
+
+func TestDiurnalRateBounds(t *testing.T) {
+	r := DiurnalRate(1, 9, 50)
+	if got := r(0); math.Abs(got-1) > 1e-9 {
+		t.Errorf("trough rate = %g, want 1", got)
+	}
+	if got := r(25); math.Abs(got-9) > 1e-9 {
+		t.Errorf("peak rate = %g, want 9", got)
+	}
+	for x := 0.0; x < 100; x += 0.5 {
+		if got := r(x); got < 1-1e-9 || got > 9+1e-9 {
+			t.Fatalf("rate(%g) = %g outside [1,9]", x, got)
+		}
+	}
+}
+
+func TestAssignOpenLoopArrivals(t *testing.T) {
+	ds := PostRecommendation(PostRecommendationConfig{Users: 8, PostsPerUser: 50, Seed: 1})
+	rate := SquareWaveRate(1, 10, 40, 0.5)
+	arr, err := AssignOpenLoopArrivals(ds, rate, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) != len(ds.Requests) {
+		t.Fatalf("stamped %d of %d requests", len(arr), len(ds.Requests))
+	}
+	last := 0.0
+	for i, a := range arr {
+		if a.Time < last {
+			t.Fatalf("arrival %d at %g before previous %g", i, a.Time, last)
+		}
+		if a.Req.ArrivalTime != a.Time {
+			t.Fatalf("arrival %d: request stamp %g != %g", i, a.Req.ArrivalTime, a.Time)
+		}
+		last = a.Time
+	}
+
+	// The peak half-periods should receive roughly 10x the arrivals of the
+	// base half-periods (rates 10 vs 1 over equal spans).
+	peak, base := 0, 0
+	for _, a := range arr {
+		if math.Mod(a.Time, 40) < 20 {
+			peak++
+		} else {
+			base++
+		}
+	}
+	if base == 0 || float64(peak)/float64(base) < 4 {
+		t.Errorf("peak/base arrival ratio %d/%d; want strongly peak-weighted", peak, base)
+	}
+
+	// Determinism: same seed, same times.
+	ds2 := PostRecommendation(PostRecommendationConfig{Users: 8, PostsPerUser: 50, Seed: 1})
+	arr2, err := AssignOpenLoopArrivals(ds2, rate, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range arr {
+		if arr[i].Time != arr2[i].Time {
+			t.Fatalf("arrival %d not deterministic: %g vs %g", i, arr[i].Time, arr2[i].Time)
+		}
+	}
+}
+
+func TestAssignOpenLoopArrivalsValidates(t *testing.T) {
+	ds := PostRecommendation(PostRecommendationConfig{Users: 1, PostsPerUser: 2, Seed: 1})
+	if _, err := AssignOpenLoopArrivals(ds, nil, 1, 1); err == nil {
+		t.Error("nil rate accepted")
+	}
+	if _, err := AssignOpenLoopArrivals(ds, SquareWaveRate(1, 2, 10, 0.5), 0, 1); err == nil {
+		t.Error("zero maxRate accepted")
+	}
+}

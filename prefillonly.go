@@ -20,6 +20,7 @@
 package prefillonly
 
 import (
+	"repro/internal/autoscale"
 	"repro/internal/engine"
 	"repro/internal/hw"
 	"repro/internal/metrics"
@@ -93,6 +94,23 @@ type CreditVerificationConfig = workload.CreditVerificationConfig
 // for routing experiments.
 type SkewedConfig = workload.SkewedConfig
 
+// AutoscaleConfig tunes the elastic instance pool
+// (SimulationConfig.Autoscale): floor/ceiling, control tick, backlog and
+// reject-rate triggers, and the cold-start delay (derived from the model
+// and GPU catalogs when unset).
+type AutoscaleConfig = autoscale.Config
+
+// RateFn is a time-varying offered load in requests/second for the
+// open-loop arrival generators.
+type RateFn = workload.RateFn
+
+// ColdStartSeconds prices bringing up one engine instance: streaming the
+// model weights onto the device over the host PCIe link, plus the peer
+// (PCIe/NVLink) shard exchange for multi-GPU instances.
+func ColdStartSeconds(m *ModelConfig, g *GPUSpec, gpus int) float64 {
+	return autoscale.ColdStartSeconds(m, g, gpus)
+}
+
 // NewPostRecommendation generates the paper's post-recommendation dataset
 // (20 users × 50 posts over 11k–17k-token profiles).
 func NewPostRecommendation(cfg PostRecommendationConfig) *Dataset {
@@ -117,6 +135,26 @@ func NewSkewed(cfg SkewedConfig) *Dataset {
 // sorted by time.
 func AssignPoissonArrivals(d *Dataset, qps float64, seed int64) ([]Arrival, error) {
 	return workload.AssignPoissonArrivals(d, qps, seed)
+}
+
+// AssignOpenLoopArrivals stamps arrivals from a non-homogeneous Poisson
+// process with the time-varying rate (bounded by maxRate) onto a dataset —
+// the bursty/diurnal open-loop traffic the autoscale experiments use. See
+// SquareWaveRate and DiurnalRate for rate profiles.
+func AssignOpenLoopArrivals(d *Dataset, rate RateFn, maxRate float64, seed int64) ([]Arrival, error) {
+	return workload.AssignOpenLoopArrivals(d, rate, maxRate, seed)
+}
+
+// SquareWaveRate alternates between base and peak requests/second with
+// the given period and duty cycle (the burst autoscaling scenario).
+func SquareWaveRate(base, peak, period, duty float64) RateFn {
+	return workload.SquareWaveRate(base, peak, period, duty)
+}
+
+// DiurnalRate is a smooth day/night cycle between base and peak
+// requests/second with the given period.
+func DiurnalRate(base, peak, period float64) RateFn {
+	return workload.DiurnalRate(base, peak, period)
 }
 
 // SummarizeLatencies computes order statistics over records' end-to-end

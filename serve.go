@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"repro/internal/autoscale"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/router"
@@ -39,6 +40,15 @@ type ServerConfig struct {
 	// whose projected completion wait exceeds the bound are answered with
 	// HTTP 429. Requires Instances > 1.
 	MaxBacklogSeconds float64
+	// Autoscale enables the elastic instance pool (internal/autoscale):
+	// the cluster starts at MinInstances engines and scales between that
+	// floor and the Instances ceiling from live backlog and admission
+	// signals, paying a model-load cold start per scale-up. Requires
+	// Instances > 1.
+	Autoscale bool
+	// MinInstances is the elastic pool's floor (default 1). Requires
+	// Autoscale.
+	MinInstances int
 }
 
 // Server is the OpenAI-compatible serving frontend over a PrefillOnly
@@ -73,8 +83,11 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	opts := core.Options{Lambda: cfg.Lambda}
 	var b *server.Backend
 	var err error
-	if cfg.Instances <= 1 && (cfg.RoutingPolicy != "" || cfg.MaxBacklogSeconds != 0) {
-		return nil, fmt.Errorf("prefillonly: RoutingPolicy and MaxBacklogSeconds require Instances > 1")
+	if cfg.Instances <= 1 && (cfg.RoutingPolicy != "" || cfg.MaxBacklogSeconds != 0 || cfg.Autoscale) {
+		return nil, fmt.Errorf("prefillonly: RoutingPolicy, MaxBacklogSeconds and Autoscale require Instances > 1")
+	}
+	if !cfg.Autoscale && cfg.MinInstances != 0 {
+		return nil, fmt.Errorf("prefillonly: MinInstances requires Autoscale")
 	}
 	if cfg.Instances > 1 {
 		// A nil Policy lets router.New apply its default (AffinityLoad).
@@ -85,10 +98,18 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 				return nil, err
 			}
 		}
-		b, err = server.NewRoutedBackend(ecfg, opts, cfg.Speedup, cfg.Instances, router.Config{
+		rcfg := router.Config{
 			Policy:            pol,
 			MaxBacklogSeconds: cfg.MaxBacklogSeconds,
-		})
+		}
+		if cfg.Autoscale {
+			b, err = server.NewAutoscaledBackend(ecfg, opts, cfg.Speedup, rcfg, autoscale.Config{
+				MinInstances: cfg.MinInstances,
+				MaxInstances: cfg.Instances,
+			})
+		} else {
+			b, err = server.NewRoutedBackend(ecfg, opts, cfg.Speedup, cfg.Instances, rcfg)
+		}
 	} else {
 		b, err = server.NewBackend(ecfg, opts, cfg.Speedup)
 	}
@@ -98,9 +119,14 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	return &Server{backend: b, handler: server.NewHandler(b, cfg.ModelName)}, nil
 }
 
-// Handler returns the http.Handler exposing /v1/completions, /v1/models
-// and /healthz.
+// Handler returns the http.Handler exposing /v1/completions, /v1/models,
+// /v1/stats and /healthz.
 func (s *Server) Handler() http.Handler { return s.handler }
+
+// Stats returns the live cluster snapshot served at /v1/stats: router
+// per-instance loads, the admission tally, and the autoscaler's pool
+// state.
+func (s *Server) Stats() server.StatsSnapshot { return s.backend.Stats() }
 
 // Submit serves one prompt directly (bypassing HTTP).
 func (s *Server) Submit(prompt string, allowed []string, userID int) (ServerResult, error) {

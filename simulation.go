@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/autoscale"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -63,19 +64,30 @@ type SimulationConfig struct {
 	// whose projected completion wait exceeds the bound are rejected and
 	// counted (see Rejected) instead of queued. Requires RoutingPolicy.
 	MaxBacklogSeconds float64
+	// Autoscale enables the elastic instance pool (internal/autoscale):
+	// the cluster starts at Autoscale.MinInstances engines and scales
+	// between that floor and Autoscale.MaxInstances (default: the GPUs
+	// fleet size) from live backlog and admission signals, paying a
+	// model-load cold start per scale-up. Requires RoutingPolicy; the
+	// cold-start delay derives from this config's Model and GPU unless
+	// set explicitly.
+	Autoscale *AutoscaleConfig
 }
 
 // Simulation is a deterministic serving cluster on a virtual clock.
 type Simulation struct {
-	cfg       SimulationConfig
-	sim       *sim.Sim
-	cluster   *cluster.Cluster // legacy §7.1 routing ("" policy)
-	router    *router.Router   // load/affinity routing (non-empty policy)
+	cfg      SimulationConfig
+	sim      *sim.Sim
+	cluster  *cluster.Cluster      // legacy §7.1 routing ("" policy)
+	router   *router.Router        // load/affinity routing (non-empty policy)
+	ctl      *autoscale.Controller // elastic pool (Autoscale config)
+	tok      *tokenizer.Tokenizer
+	records  []Record
+	rejected int
+	nextID   int64
+	// instances lists every engine ever created (autoscaled additions
+	// included, released ones retained) for cumulative cache statistics.
 	instances []engine.Engine
-	tok       *tokenizer.Tokenizer
-	records   []Record
-	rejected  int
-	nextID    int64
 }
 
 // NewSimulation builds the cluster (running each engine's profile run and
@@ -109,6 +121,8 @@ func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
 		}
 	} else if cfg.MaxBacklogSeconds != 0 {
 		return nil, fmt.Errorf("prefillonly: MaxBacklogSeconds requires a RoutingPolicy")
+	} else if cfg.Autoscale != nil {
+		return nil, fmt.Errorf("prefillonly: Autoscale requires a RoutingPolicy")
 	}
 	s := &Simulation{cfg: cfg, sim: &sim.Sim{}, tok: tokenizer.New()}
 
@@ -150,14 +164,42 @@ func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
 			return nil, fmt.Errorf("prefillonly: %s needs an even GPU count, got %d", cfg.Engine, cfg.GPUs)
 		}
 	}
-	for g := 0; g < cfg.GPUs/perInstance; g++ {
+	factory := func() (engine.Engine, error) {
 		e, err := mk()
 		if err != nil {
 			return nil, err
 		}
-		instances = append(instances, e)
+		s.instances = append(s.instances, e)
+		return e, nil
 	}
-	s.instances = instances
+	initial := cfg.GPUs / perInstance
+	var acfg *AutoscaleConfig
+	if cfg.Autoscale != nil {
+		// Copy: the controller's defaults must not write back into the
+		// caller's config. The elastic pool starts at its floor; GPUs
+		// sizes the default ceiling.
+		a := *cfg.Autoscale
+		acfg = &a
+		if acfg.MaxInstances <= 0 {
+			acfg.MaxInstances = cfg.GPUs / perInstance
+		}
+		if acfg.Model == nil {
+			acfg.Model = cfg.Model
+		}
+		if acfg.GPU == nil {
+			acfg.GPU = cfg.GPU
+		}
+		initial = acfg.MinInstances
+		if initial <= 0 {
+			initial = 1
+		}
+	}
+	for g := 0; g < initial; g++ {
+		if _, err := factory(); err != nil {
+			return nil, err
+		}
+	}
+	instances = s.instances
 	if pol != nil {
 		rt, err := router.New(router.Config{
 			Policy:            pol,
@@ -167,6 +209,14 @@ func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
 			return nil, err
 		}
 		s.router = rt
+		if acfg != nil {
+			ctl, err := autoscale.New(*acfg, s.sim, rt, factory)
+			if err != nil {
+				return nil, err
+			}
+			s.ctl = ctl
+			ctl.Start()
+		}
 		return s, nil
 	}
 	cl, err := cluster.New(instances...)
@@ -183,6 +233,11 @@ func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
 // fails loudly rather than being miscounted as load shedding.
 func (s *Simulation) submit(r *Request) {
 	if s.router != nil {
+		if s.ctl != nil {
+			// Revive the controller's tick loop if it wound down after a
+			// previous Run drained the event queue.
+			s.ctl.Start()
+		}
 		if err := s.router.Submit(r); err != nil {
 			var rej *router.RejectError
 			if !errors.As(err, &rej) {
@@ -249,6 +304,10 @@ func (s *Simulation) Rejected() int { return s.rejected }
 // Router returns the routing frontend (nil when the legacy §7.1 cluster is
 // active).
 func (s *Simulation) Router() *router.Router { return s.router }
+
+// Autoscaler returns the elastic pool controller (nil without an
+// Autoscale config).
+func (s *Simulation) Autoscaler() *autoscale.Controller { return s.ctl }
 
 // CacheHitRate aggregates prefix-cache hit rate across instances.
 func (s *Simulation) CacheHitRate() float64 {
