@@ -3,14 +3,15 @@
 //
 // Usage:
 //
-//	prefillbench -exp table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|sec2.3|sec6.3|routing|autoscale|all
+//	prefillbench -exp table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|sec2.3|sec6.3|routing|autoscale|slo|all
 //	             [-scenario L4|A100|H100|H100-NVLink] [-dataset post|credit]
 //	             [-seed N] [-small] [-json FILE]
 //
 // fig6/fig7 honour -scenario and -dataset to render a single panel
 // (the full grid is expensive); "all" runs everything cheap plus one panel.
-// autoscale honours -json to additionally write its sweep rows as JSON
-// (the CI benchmark smoke step records BENCH_autoscale.json this way).
+// autoscale and slo honour -json to additionally write their sweep rows as
+// JSON (the CI benchmark smoke step records BENCH_autoscale.json and
+// BENCH_slo.json this way).
 package main
 
 import (
@@ -30,7 +31,7 @@ func main() {
 	dataset := flag.String("dataset", "post", "dataset for fig6/fig7 panels (post|credit)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	small := flag.Bool("small", false, "use scaled-down datasets for quick runs")
-	jsonPath := flag.String("json", "", "also write the experiment's rows as JSON (autoscale only)")
+	jsonPath := flag.String("json", "", "also write the experiment's rows as JSON (autoscale and slo)")
 	flag.Parse()
 
 	if err := run(*exp, *scenario, *dataset, *seed, *small, *jsonPath); err != nil {
@@ -71,6 +72,8 @@ func run(exp, scenario, dataset string, seed int64, small bool, jsonPath string)
 		return routing(seed, small)
 	case "autoscale":
 		return autoscaleExp(seed, small, jsonPath)
+	case "slo":
+		return sloExp(seed, small, jsonPath)
 	case "all":
 		for _, e := range []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig10", "sec2.3", "sec6.3"} {
 			if err := run(e, scenario, dataset, seed, small, ""); err != nil {
@@ -81,6 +84,9 @@ func run(exp, scenario, dataset string, seed int64, small bool, jsonPath string)
 			return err
 		}
 		if err := autoscaleExp(seed, true, jsonPath); err != nil {
+			return err
+		}
+		if err := sloExp(seed, true, ""); err != nil {
 			return err
 		}
 		return figQPS("fig6", scenario, dataset, seed, true)
@@ -310,6 +316,34 @@ func autoscaleExp(seed int64, small bool, jsonPath string) error {
 		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%.3f\t%.1f\t%.1f%%\t[%d,%d]\t%d\t%d\t%.2f\n",
 			r.Mode, r.MeanJCT, r.P99JCT, r.ShedRate, r.GPUSeconds, 100*r.GPUSavingsVsPeak,
 			r.TroughInstances, r.PeakInstances, r.ScaleUps, r.ScaleDowns, r.ColdStartSeconds)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+func sloExp(seed int64, small bool, jsonPath string) error {
+	rows, err := experiments.SLOSweep(seed, small)
+	if err != nil {
+		return err
+	}
+	w := header("SLO classes: class-blind vs class-aware at equal GPU-seconds, fixed fleet on L4")
+	fmt.Fprintln(w, "mode\tint mean (s)\tint p99 (s)\tint shed\tbatch mean (s)\tbatch shed\tbatch goodput (tok/s)\tGPU-s\tcompleted")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%d/%d\t%.3f\t%d/%d\t%.0f\t%.1f\t%d\n",
+			r.Mode, r.InteractiveMeanJCT, r.InteractiveP99JCT, r.InteractiveShed, r.InteractiveOffered,
+			r.BatchMeanJCT, r.BatchShed, r.BatchOffered, r.BatchGoodputTPS, r.GPUSeconds, r.Completed)
 	}
 	if err := w.Flush(); err != nil {
 		return err

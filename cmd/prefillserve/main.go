@@ -6,12 +6,20 @@
 //	prefillserve [-addr :8080] [-model llama-3.1-8b] [-gpu l4]
 //	             [-max-input-len 20000] [-lambda 500] [-speedup 1000]
 //	             [-instances 1] [-routing affinity] [-max-backlog 0]
+//	             [-batch-max-backlog 0] [-batch-weight 0]
 //	             [-autoscale] [-min-instances 1]
 //
 // With -autoscale, -instances is the pool ceiling: the cluster starts at
 // -min-instances engines and scales elastically from live backlog and
 // admission signals, paying a model-load cold start per scale-up. Watch
 // the pool at /v1/stats.
+//
+// Multi-tenant SLO classes: clients label requests with the slo_class
+// body field or X-SLO-Class header ("interactive" default, "batch").
+// -batch-max-backlog gives the batch class its own (smaller) admission
+// budget so batch load sheds before interactive load; -batch-weight > 1
+// makes queued batch work yield the GPU to interactive work. Only
+// interactive pressure triggers autoscaling.
 //
 // Then:
 //
@@ -41,6 +49,8 @@ func main() {
 	instances := flag.Int("instances", 1, "engine instances (>1 routes by load and prefix affinity)")
 	routing := flag.String("routing", "affinity", "routing policy for -instances > 1 (userhash|leastloaded|affinity)")
 	maxBacklog := flag.Float64("max-backlog", 0, "admission bound in estimated backlog seconds (0 = unlimited)")
+	batchBacklog := flag.Float64("batch-max-backlog", 0, "batch-class admission budget in backlog seconds (0 = shared -max-backlog bound)")
+	batchWeight := flag.Float64("batch-weight", 0, "batch-class JCT weight in the calibrated scheduler (>1 deprioritizes batch; 0 = class-blind)")
 	autoscaleOn := flag.Bool("autoscale", false, "scale the pool elastically between -min-instances and -instances")
 	minInstances := flag.Int("min-instances", 1, "elastic pool floor (requires -autoscale)")
 	flag.Parse()
@@ -61,9 +71,18 @@ func main() {
 		Speedup:     *speedup,
 		Instances:   *instances,
 	}
+	if *batchWeight != 0 {
+		if *batchWeight <= 1 {
+			log.Fatal("-batch-weight must exceed 1 (batch yields to interactive)")
+		}
+		scfg.ClassWeights = map[prefillonly.Class]float64{prefillonly.ClassBatch: *batchWeight}
+	}
 	if *instances > 1 {
 		scfg.RoutingPolicy = *routing
 		scfg.MaxBacklogSeconds = *maxBacklog
+		if *batchBacklog > 0 {
+			scfg.ClassBacklogSeconds = map[prefillonly.Class]float64{prefillonly.ClassBatch: *batchBacklog}
+		}
 		if *autoscaleOn {
 			scfg.Autoscale = true
 			scfg.MinInstances = *minInstances
@@ -75,7 +94,7 @@ func main() {
 		// dropping them on a single-engine server.
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "routing", "max-backlog", "autoscale", "min-instances":
+			case "routing", "max-backlog", "batch-max-backlog", "autoscale", "min-instances":
 				log.Fatalf("-%s requires -instances > 1", f.Name)
 			}
 		})
@@ -90,6 +109,10 @@ func main() {
 	if *instances > 1 {
 		fmt.Printf("prefillserve: %d instances routed by %s policy (max backlog %gs)\n",
 			*instances, *routing, *maxBacklog)
+	}
+	if *batchBacklog > 0 || *batchWeight > 1 {
+		fmt.Printf("prefillserve: SLO classes on (batch budget %gs, batch weight %g)\n",
+			*batchBacklog, *batchWeight)
 	}
 	if *autoscaleOn {
 		fmt.Printf("prefillserve: autoscaling pool between %d and %d instances (cold start %.2fs)\n",

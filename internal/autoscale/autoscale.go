@@ -4,6 +4,16 @@
 // window) and elastically sizes the instance pool between a floor and a
 // ceiling.
 //
+// The scale-up signals are SLO-class-aware: the controller reads the
+// interactive share of each instance's backlog and the interactive reject
+// rate, not the aggregates, so batch backlog or batch sheds alone never
+// trigger a cold start — GPUs are provisioned for latency-sensitive
+// pressure, while batch work absorbs whatever capacity that leaves.
+// Scale-down stays conservative on the aggregate: an instance is not
+// drained while any class still has queued work or saw a shed in the
+// window, because releasing capacity mid-batch would only re-shed the
+// batch tier.
+//
 // Scale-up is not free: a new instance pays a cold-start delay — the time
 // to load the model weights onto the device, priced from the hw/model
 // catalogs over the host (PCIe) link plus, for multi-GPU instances, the
@@ -28,6 +38,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/model"
 	"repro/internal/router"
+	"repro/internal/sched"
 	"repro/internal/sim"
 )
 
@@ -59,17 +70,22 @@ type Config struct {
 	// TickSeconds is the control interval in simulated seconds (default 1).
 	// At most one scaling action is taken per tick.
 	TickSeconds float64
-	// UpBacklogSeconds triggers scale-up when the mean estimated backlog
-	// per routable instance exceeds it, or when any single instance's
-	// backlog exceeds twice it — a skewed workload can swamp one affinity
-	// home toward the admission bound while the mean stays quiet
-	// (default 4).
+	// UpBacklogSeconds triggers scale-up when the mean estimated
+	// interactive-class backlog per routable instance exceeds it, or when
+	// any single instance's interactive backlog exceeds twice it — a
+	// skewed workload can swamp one affinity home toward the admission
+	// bound while the mean stays quiet (default 4). Batch backlog is
+	// excluded: batch pressure alone never pays a cold start.
 	UpBacklogSeconds float64
-	// DownBacklogSeconds permits scale-down when the mean backlog is below
-	// it and the sliding window saw no sheds (default 0.5).
+	// DownBacklogSeconds permits scale-down when the mean backlog (all
+	// classes) is below it and the sliding window saw no sheds of any
+	// class — batch sheds don't provision capacity, but they do veto
+	// releasing it, or draining would amplify the shed rate (default 0.5).
 	DownBacklogSeconds float64
-	// UpRejectRate triggers scale-up when the admission reject rate over
-	// the sliding window exceeds it (default 0: any shed triggers).
+	// UpRejectRate triggers scale-up when the interactive-class admission
+	// reject rate over the sliding window exceeds it (default 0: any
+	// interactive shed triggers). Batch sheds are the per-class budgets
+	// doing their job and never provision capacity.
 	UpRejectRate float64
 	// WindowTicks is the sliding-window length for the reject-rate signal
 	// (default 8).
@@ -138,9 +154,12 @@ type Stats struct {
 	ColdStartSeconds float64
 }
 
-// windowSample is one tick's admission-decision delta.
+// windowSample is one tick's admission-decision delta: accepted/rejected
+// cover the scale-up classes (interactive + unlabeled), rejectedAll every
+// class.
 type windowSample struct {
 	accepted, rejected int64
+	rejectedAll        int64
 }
 
 // Controller is the elastic pool controller.
@@ -157,9 +176,10 @@ type Controller struct {
 	stopped     bool
 	err         error
 
-	window       []windowSample
-	lastAccepted int64
-	lastRejected int64
+	window          []windowSample
+	lastAccepted    int64
+	lastRejected    int64
+	lastRejectedAll int64
 
 	// GPU-seconds accrue by integrating the owned-GPU gauge over time.
 	poolGPUs    int
@@ -247,27 +267,45 @@ func (c *Controller) accrue(now float64) {
 }
 
 // windowRates folds the current tick's admission delta into the sliding
-// window and returns the window's shed count and reject rate.
-func (c *Controller) windowRates() (rejects int64, rate float64) {
-	var acc, rej int64
-	for _, tally := range c.rt.Admission().Snapshot() {
-		acc += tally.Accepted
-		rej += tally.Rejected
+// window and returns two shed signals: upRejects/upRate cover interactive
+// (and unlabeled legacy) decisions only — the scale-up trigger, so batch
+// sheds never provision capacity — while allRejects counts every class
+// and vetoes scale-down: draining while batch is actively being shed
+// would only amplify the shed rate. Unlabeled decisions count toward the
+// interactive signal conservatively, so a router that never labels
+// classes keeps its pre-class behavior.
+func (c *Controller) windowRates() (upRejects int64, upRate float64, allRejects int64) {
+	var acc, rej, accAll, rejAll int64
+	batchLabel := sched.ClassBatch.String()
+	for _, byClass := range c.rt.Admission().ClassSnapshot() {
+		for class, tally := range byClass {
+			accAll += tally.Accepted
+			rejAll += tally.Rejected
+			if class == batchLabel {
+				continue
+			}
+			acc += tally.Accepted
+			rej += tally.Rejected
+		}
 	}
-	c.window = append(c.window, windowSample{accepted: acc - c.lastAccepted, rejected: rej - c.lastRejected})
-	c.lastAccepted, c.lastRejected = acc, rej
+	c.window = append(c.window, windowSample{
+		accepted: acc - c.lastAccepted, rejected: rej - c.lastRejected,
+		rejectedAll: rejAll - c.lastRejectedAll,
+	})
+	c.lastAccepted, c.lastRejected, c.lastRejectedAll = acc, rej, rejAll
 	if len(c.window) > c.cfg.WindowTicks {
 		c.window = c.window[len(c.window)-c.cfg.WindowTicks:]
 	}
-	var wAcc, wRej int64
+	var wAcc, wRej, wRejAll int64
 	for _, s := range c.window {
 		wAcc += s.accepted
 		wRej += s.rejected
+		wRejAll += s.rejectedAll
 	}
 	if total := wAcc + wRej; total > 0 {
-		rate = float64(wRej) / float64(total)
+		upRate = float64(wRej) / float64(total)
 	}
-	return wRej, rate
+	return wRej, upRate, wRejAll
 }
 
 // tick is one control interval: release drained instances, read the load
@@ -280,8 +318,14 @@ func (c *Controller) tick() {
 	now := c.s.Now()
 	c.stats.Ticks++
 
-	rejects, rejectRate := c.windowRates()
-	var backlogSum, maxBacklog float64
+	rejects, rejectRate, allRejects := c.windowRates()
+	// Scale-up reads the interactive share of the backlog; scale-down and
+	// drain-candidate selection read the aggregate (capacity is released
+	// only when no class has queued work). An unlabeled pre-class router
+	// reports everything as interactive (the zero class), so the split
+	// signals degenerate to the aggregates there.
+	var upBacklogSum, upMaxBacklog float64
+	var aggBacklogSum float64
 	routable := 0
 	var drainCandidate router.InstanceInfo
 	haveCandidate := false
@@ -290,10 +334,12 @@ func (c *Controller) tick() {
 			continue
 		}
 		routable++
-		backlogSum += info.Load.BacklogSeconds
-		if info.Load.BacklogSeconds > maxBacklog {
-			maxBacklog = info.Load.BacklogSeconds
+		interactive := info.Load.ClassBacklog(sched.ClassInteractive)
+		upBacklogSum += interactive
+		if interactive > upMaxBacklog {
+			upMaxBacklog = interactive
 		}
+		aggBacklogSum += info.Load.BacklogSeconds
 		if !haveCandidate ||
 			info.Load.BacklogSeconds < drainCandidate.Load.BacklogSeconds ||
 			(info.Load.BacklogSeconds == drainCandidate.Load.BacklogSeconds &&
@@ -301,9 +347,10 @@ func (c *Controller) tick() {
 			drainCandidate, haveCandidate = info, true
 		}
 	}
-	avgBacklog := 0.0
+	avgUpBacklog, avgAggBacklog := 0.0, 0.0
 	if routable > 0 {
-		avgBacklog = backlogSum / float64(routable)
+		avgUpBacklog = upBacklogSum / float64(routable)
+		avgAggBacklog = aggBacklogSum / float64(routable)
 	}
 	n := routable + c.pendingAdds
 
@@ -313,18 +360,19 @@ func (c *Controller) tick() {
 		// raised): restore unconditionally.
 		c.scaleUp(now)
 	case n < c.cfg.MaxInstances && c.err == nil &&
-		(avgBacklog > c.cfg.UpBacklogSeconds ||
-			maxBacklog > 2*c.cfg.UpBacklogSeconds ||
+		(avgUpBacklog > c.cfg.UpBacklogSeconds ||
+			upMaxBacklog > 2*c.cfg.UpBacklogSeconds ||
 			(rejects > 0 && rejectRate > c.cfg.UpRejectRate)):
 		// Proportional step: provision enough instances to bring the mean
-		// backlog back to the trigger threshold, not one at a time — a
-		// square-wave burst otherwise outruns the tick-by-tick ramp by
-		// several cold starts. Sheds escalate to the ceiling outright: by
-		// the time admission control is dropping requests, the backlog
-		// signal has already been outrun, and a shed SLO costs more than
-		// the extra cold starts of an overshoot.
+		// interactive backlog back to the trigger threshold, not one at a
+		// time — a square-wave burst otherwise outruns the tick-by-tick
+		// ramp by several cold starts. Interactive sheds escalate to the
+		// ceiling outright: by the time admission control is dropping
+		// latency-sensitive requests, the backlog signal has already been
+		// outrun, and a shed SLO costs more than the extra cold starts of
+		// an overshoot.
 		target := n + 1
-		if want := int(math.Ceil(backlogSum / c.cfg.UpBacklogSeconds)); want > target {
+		if want := int(math.Ceil(upBacklogSum / c.cfg.UpBacklogSeconds)); want > target {
 			target = want
 		}
 		if rejects > 0 && rejectRate > c.cfg.UpRejectRate {
@@ -336,8 +384,8 @@ func (c *Controller) tick() {
 		for i := n; i < target; i++ {
 			c.scaleUp(now)
 		}
-	case routable > c.cfg.MinInstances && haveCandidate && rejects == 0 &&
-		avgBacklog < c.cfg.DownBacklogSeconds &&
+	case routable > c.cfg.MinInstances && haveCandidate && allRejects == 0 &&
+		avgAggBacklog < c.cfg.DownBacklogSeconds &&
 		now-c.lastAction >= c.cfg.CooldownSeconds:
 		// Graceful drain: the router stops offering the instance; a later
 		// tick releases it once its queue empties. The guard counts only

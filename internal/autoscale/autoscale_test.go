@@ -142,6 +142,128 @@ func TestScaleUpAndDown(t *testing.T) {
 	}
 }
 
+// TestBatchBacklogNeverScalesUp: the controller reads interactive-class
+// signals, so a burst of pure batch work — backlog far past the trigger
+// and batch sheds in the window — must never provision an instance, while
+// the same burst labeled interactive must.
+func TestBatchBacklogNeverScalesUp(t *testing.T) {
+	burst := func(t *testing.T, class sched.Class) Stats {
+		t.Helper()
+		var s sim.Sim
+		rt, factory, _ := harness(t, &s, 1)
+		ctl, err := New(Config{
+			MinInstances: 1, MaxInstances: 3,
+			TickSeconds: 0.5, UpBacklogSeconds: 2,
+			ColdStartSeconds: 1,
+		}, &s, rt, factory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctl.Start()
+		s.At(0, func() {
+			for i := int64(1); i <= 40; i++ {
+				r := mkReq(i, int(i), 3000)
+				r.Class = class
+				if err := rt.Submit(r); err != nil {
+					t.Errorf("submit %d: %v", i, err)
+				}
+			}
+		})
+		s.Run()
+		if err := ctl.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return ctl.Stats()
+	}
+	if st := burst(t, sched.ClassBatch); st.ScaleUps != 0 {
+		t.Errorf("pure batch backlog caused %d scale-ups; batch alone must never pay a cold start", st.ScaleUps)
+	}
+	if st := burst(t, sched.ClassInteractive); st.ScaleUps == 0 {
+		t.Error("identical interactive backlog caused no scale-up; the signal is dead, not class-scoped")
+	}
+}
+
+// TestBatchShedsDoNotEscalate: batch rejects under a tight batch budget
+// must not trip the shed-escalation path that jumps the pool to its
+// ceiling.
+func TestBatchShedsDoNotEscalate(t *testing.T) {
+	var s sim.Sim
+	rt, factory, _ := harness(t, &s, 1)
+	ctl, err := New(Config{
+		MinInstances: 1, MaxInstances: 3,
+		TickSeconds: 0.5, UpBacklogSeconds: 1000, // backlog can never trigger
+		ColdStartSeconds: 1,
+	}, &s, rt, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.Start()
+	s.At(0, func() {
+		// A little live work keeps ticks running while the window fills.
+		for i := int64(1); i <= 4; i++ {
+			r := mkReq(i, int(i), 2000)
+			r.Class = sched.ClassBatch
+			if err := rt.Submit(r); err != nil {
+				t.Errorf("submit: %v", err)
+			}
+		}
+		// Batch sheds land on the tally exactly as a tight batch budget
+		// records them.
+		for i := 0; i < 50; i++ {
+			rt.Admission().RejectClass("leastloaded", sched.ClassBatch.String())
+		}
+	})
+	s.Run()
+	if err := ctl.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if st := ctl.Stats(); st.ScaleUps != 0 {
+		t.Errorf("batch sheds escalated the pool: %d scale-ups", st.ScaleUps)
+	}
+}
+
+// TestBatchShedsVetoScaleDown: batch sheds never provision capacity, but
+// they must veto releasing it — draining while batch is actively being
+// shed would only amplify the shed rate.
+func TestBatchShedsVetoScaleDown(t *testing.T) {
+	var s sim.Sim
+	rt, factory, _ := harness(t, &s, 2)
+	ctl, err := New(Config{
+		MinInstances: 1, MaxInstances: 2,
+		TickSeconds: 0.5, UpBacklogSeconds: 1000, DownBacklogSeconds: 0.5,
+		ColdStartSeconds: 1, CooldownSeconds: 0.5,
+	}, &s, rt, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.Start()
+	// Quiet backlog + a continuous stream of batch sheds: without the
+	// veto, the idle pool drains to the floor tick after tick.
+	for ti := 0; ti < 20; ti++ {
+		at := 0.1 + 0.5*float64(ti)
+		s.At(at, func() {
+			rt.Admission().RejectClass("leastloaded", sched.ClassBatch.String())
+		})
+	}
+	id := int64(0)
+	for ti := 0; ti < 20; ti++ {
+		at := 0.2 + 0.5*float64(ti)
+		s.At(at, func() {
+			id++
+			if err := rt.Submit(mkReq(id, int(id), 50)); err != nil {
+				t.Errorf("submit: %v", err)
+			}
+		})
+	}
+	s.Run()
+	if err := ctl.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if st := ctl.Stats(); st.ScaleDowns != 0 {
+		t.Errorf("pool drained %d times while batch was being shed", st.ScaleDowns)
+	}
+}
+
 // TestColdStartDelaysRoutability checks a scaled-up instance only joins
 // the routable set after the cold-start delay has elapsed.
 func TestColdStartDelaysRoutability(t *testing.T) {

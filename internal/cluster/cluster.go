@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/engine"
+	"repro/internal/ringbuf"
 	"repro/internal/sched"
 )
 
@@ -25,9 +26,15 @@ const DefaultMaxTrackedUsers = 1 << 20
 type Cluster struct {
 	instances []engine.Engine
 	byUser    map[int]int
-	order     []int // tracked user IDs in assignment order (FIFO eviction)
-	next      int
-	maxUsers  int
+	// order holds tracked user IDs in assignment order (FIFO eviction).
+	// A ring (internal/ringbuf) rather than a slice advanced with
+	// `order = order[1:]`: under user churn at the tracked-user cap,
+	// Route appends while evictOldest pops, and the slice advance regrows
+	// the backing array on every append while pinning every evicted slot
+	// — memory proportional to all users ever seen, not the cap.
+	order    ringbuf.Ring[int]
+	next     int
+	maxUsers int
 }
 
 // New builds a cluster over the given instances.
@@ -66,12 +73,9 @@ func (c *Cluster) TrackedUsers() int { return len(c.byUser) }
 
 // evictOldest forgets the longest-tracked user.
 func (c *Cluster) evictOldest() {
-	if len(c.order) == 0 {
-		return
+	if user, ok := c.order.PopFront(); ok {
+		delete(c.byUser, user)
 	}
-	delete(c.byUser, c.order[0])
-	c.order[0] = 0
-	c.order = c.order[1:]
 }
 
 // Instances returns the cluster's engines.
@@ -99,7 +103,7 @@ func (c *Cluster) Route(userID int) int {
 	idx := c.next
 	c.next = (c.next + 1) % len(c.instances)
 	c.byUser[userID] = idx
-	c.order = append(c.order, userID)
+	c.order.PushBack(userID)
 	return idx
 }
 

@@ -137,6 +137,43 @@ func TestTrackedUserBound(t *testing.T) {
 	}
 }
 
+// Regression for the `order = order[1:]` retention bug: under user churn
+// at the tracked-user cap, Route appends while evictOldest advances, and
+// the slice form regrew the backing array on every append while pinning
+// every evicted slot. The order ring's backing array must stay bounded by
+// the cap — not by the total users ever routed.
+func TestOrderRingBoundedUnderChurnAtCap(t *testing.T) {
+	var s sim.Sim
+	cfg := engine.Config{Model: model.Llama31_8B(), GPU: hw.L4(), Sim: &s, ProfileMaxLen: 2000}
+	e1, err := engine.NewPagedAttention(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(e1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cap = 1000
+	if err := c.SetMaxTrackedUsers(cap); err != nil {
+		t.Fatal(err)
+	}
+	// 10x the cap of distinct users: every Route beyond the cap evicts one
+	// and appends one.
+	for u := 0; u < 10*cap; u++ {
+		c.Route(u)
+	}
+	if c.TrackedUsers() != cap {
+		t.Fatalf("tracked users = %d, want %d", c.TrackedUsers(), cap)
+	}
+	if c.order.Len() != cap {
+		t.Fatalf("order ring holds %d entries, want %d", c.order.Len(), cap)
+	}
+	if c.order.Cap() > 2*cap {
+		t.Fatalf("order ring backing array holds %d slots after 10x-cap churn (cap %d)",
+			c.order.Cap(), cap)
+	}
+}
+
 func TestNewRejectsEmptyAndNil(t *testing.T) {
 	if _, err := New(); err == nil {
 		t.Error("empty cluster accepted")

@@ -47,6 +47,13 @@ type Options struct {
 	ChunkSize int
 	// Estimator picks the JCT estimator (default ProxyEstimator).
 	Estimator EstimatorKind
+	// ClassWeights deprioritizes SLO classes in the calibrated scheduler:
+	// class c's JCT is multiplied by ClassWeights[c] inside the heap key,
+	// so a batch weight > 1 makes batch work yield to interactive work
+	// whenever their weighted costs cross. Missing classes weigh 1; nil
+	// is the class-blind paper policy. Requires calibration (the static
+	// SRJF ablation ignores it).
+	ClassWeights map[sched.Class]float64
 	// DisableCalibration freezes each request's JCT at arrival (plain
 	// SRJF) — used by the scheduling ablation.
 	DisableCalibration bool
@@ -85,6 +92,15 @@ type Engine struct {
 // engine.NewSerial) to size the prefix-cache pool and calibrates the JCT
 // estimator against the engine's own cost model.
 func New(cfg engine.Config, opts Options) (*Engine, error) {
+	// Validate class weights up front: sched.SetClassWeights panics on bad
+	// values (programming-error surface), but Options travels in from
+	// public config (SimulationConfig/ServerConfig), where misconfiguration
+	// must come back as an error like every other field's.
+	for class, w := range opts.ClassWeights {
+		if w <= 0 {
+			return nil, fmt.Errorf("core: class weight for %s must be positive, got %g", class, w)
+		}
+	}
 	gopts := graph.HybridOptions(opts.chunk())
 	if opts.DisableOptimizations {
 		gopts.OutputPrealloc = false
@@ -146,6 +162,9 @@ func New(cfg engine.Config, opts Options) (*Engine, error) {
 		// membership change, instead of re-pricing the whole queue every
 		// dispatch.
 		cal := sched.NewCalibrated(jctNow, opts.lambda())
+		if len(opts.ClassWeights) > 0 {
+			cal.SetClassWeights(opts.ClassWeights)
+		}
 		engine.AttachIncremental(cal, serial.Cache())
 		scheduler = cal
 	}

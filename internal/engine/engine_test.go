@@ -239,6 +239,35 @@ func TestPipelineParallelOverlapsStages(t *testing.T) {
 	}
 }
 
+// Regression for the `handoff = handoff[1:]` retention bug: under a deep
+// sustained pipeline every stage-0 completion appended to the handoff
+// queue while stage 1 advanced the slice, so the backing array retained
+// every inflight ever handed off. The ring must stay bounded by the peak
+// handoff depth (≈1 for symmetric stages), not the request count.
+func TestPipelineHandoffBoundedUnderDeepPipeline(t *testing.T) {
+	var s sim.Sim
+	var recs []Record
+	eng, err := NewPipelineParallel(testConfig(&s, &recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 300
+	for i := 0; i < n; i++ {
+		r := testRequest(int64(i+1), i, 2000, 0)
+		s.At(0, func() { eng.Submit(r) })
+	}
+	s.Run()
+	if len(recs) != n {
+		t.Fatalf("completed %d of %d", len(recs), n)
+	}
+	if eng.handoff.Len() != 0 {
+		t.Fatalf("handoff retains %d entries after drain", eng.handoff.Len())
+	}
+	if eng.handoff.Cap() > 16 {
+		t.Fatalf("handoff backing array holds %d slots after %d requests", eng.handoff.Cap(), n)
+	}
+}
+
 func TestConfigValidation(t *testing.T) {
 	if _, err := NewPagedAttention(Config{}); err == nil {
 		t.Error("empty config accepted")

@@ -6,6 +6,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/hw"
 	"repro/internal/kvcache"
+	"repro/internal/ringbuf"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -140,7 +141,11 @@ type PipelineParallel struct {
 	lc        lifecycle
 
 	stageBusy [2]bool
-	handoff   []*inflight
+	// handoff queues stage-0 completions for stage 1. A ring
+	// (internal/ringbuf): the previous `handoff = handoff[1:]` advance
+	// retained every finished inflight in the backing array for the life
+	// of the engine under sustained pipelining.
+	handoff ringbuf.Ring[*inflight]
 }
 
 // NewPipelineParallel builds the PP=2 baseline (standard prefill, FCFS,
@@ -224,19 +229,17 @@ func (p *PipelineParallel) dispatch0() {
 		spillSeconds(inf.spilled/2, p.lc.cfg.GPU.HostBWBytes)
 	p.sim.After(dur, func() {
 		p.stageBusy[0] = false
-		p.handoff = append(p.handoff, inf)
+		p.handoff.PushBack(inf)
 		p.dispatch1()
 		p.dispatch0()
 	})
 }
 
 func (p *PipelineParallel) dispatch1() {
-	if p.stageBusy[1] || len(p.handoff) == 0 {
+	if p.stageBusy[1] || p.handoff.Len() == 0 {
 		return
 	}
-	inf := p.handoff[0]
-	p.handoff[0] = nil
-	p.handoff = p.handoff[1:]
+	inf, _ := p.handoff.PopFront()
 	p.stageBusy[1] = true
 	dur := p.lc.estimate(inf) + spillSeconds(inf.spilled/2, p.lc.cfg.GPU.HostBWBytes)
 	p.sim.After(dur, func() {

@@ -87,6 +87,62 @@ func TestGPUInsertRemovesHostCopy(t *testing.T) {
 	}
 }
 
+// Regression for the remove→re-add staleness bug: remove left the hash's
+// queue entry behind, so a re-added block inherited its original FIFO
+// position and was evicted prematurely (the re-insertion was ignored).
+// A re-add must refresh the block's FIFO position.
+func TestHostTierReAddRefreshesFIFOPosition(t *testing.T) {
+	h := newHostTier(3, 1)
+	h.add(1)
+	h.add(2)
+	h.remove(1)
+	h.add(3)
+	h.add(1) // re-add: 1 is now the NEWEST entry, order 2,3,1
+	// Tier full (2,3,1). Two more adds must evict 2 then 3 — never 1,
+	// which the stale original-position entry would have evicted first.
+	h.add(4) // evicts 2
+	if !h.contains(1) || h.contains(2) {
+		t.Fatalf("first eviction hit the re-added block: contains(1)=%v contains(2)=%v",
+			h.contains(1), h.contains(2))
+	}
+	h.add(5) // evicts 3
+	if !h.contains(1) || h.contains(3) {
+		t.Fatalf("second eviction hit the re-added block: contains(1)=%v contains(3)=%v",
+			h.contains(1), h.contains(3))
+	}
+	if !h.contains(4) || !h.contains(5) {
+		t.Fatal("newest blocks missing after evictions")
+	}
+	if h.used != 3 {
+		t.Fatalf("used = %d, want 3", h.used)
+	}
+}
+
+// The eviction queue must stay bounded under remove/re-add churn: stale
+// entries are compacted, and the ring's backing array tracks the live
+// population instead of retaining every insertion ever made.
+func TestHostTierQueueBoundedUnderChurn(t *testing.T) {
+	h := newHostTier(64, 1)
+	for i := uint64(0); i < 64; i++ {
+		h.add(i)
+	}
+	for i := 0; i < 100_000; i++ {
+		hash := uint64(i % 64)
+		h.remove(hash)
+		h.add(hash)
+	}
+	if h.used != 64 || len(h.blocks) != 64 {
+		t.Fatalf("population drifted: used=%d blocks=%d", h.used, len(h.blocks))
+	}
+	// Live entries (64) plus at most the not-yet-compacted stale half.
+	if h.queue.Len() > 2*64+1 {
+		t.Fatalf("queue holds %d entries for 64 live blocks", h.queue.Len())
+	}
+	if h.queue.Cap() > 4*64 {
+		t.Fatalf("queue backing array holds %d slots for 64 live blocks", h.queue.Cap())
+	}
+}
+
 func TestHostDisabledByDefault(t *testing.T) {
 	m := newMgr(t, 2)
 	m.Insert(seq(1, 32), 32, 1)

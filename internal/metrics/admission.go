@@ -20,52 +20,101 @@ func (c AdmissionCount) AcceptRate() float64 {
 	return float64(c.Accepted) / float64(c.Total())
 }
 
-// Admission tallies routing admission decisions per policy. The zero value
-// is ready to use. It is safe for concurrent use: the HTTP frontend routes
-// from multiple goroutines, while simulation routers are single-threaded.
+// ClassUnlabeled is the SLO-class label decisions recorded through the
+// classless Accept/Reject methods fall under.
+const ClassUnlabeled = ""
+
+// Admission tallies routing admission decisions per policy and SLO class.
+// The zero value is ready to use. Per-policy counts are the sum over
+// classes, so the classless Accept/Reject/Policy/Snapshot surface reports
+// the same totals it always has while AcceptClass/RejectClass stratify
+// them. It is safe for concurrent use: the HTTP frontend routes from
+// multiple goroutines, while simulation routers are single-threaded.
 type Admission struct {
-	mu     sync.Mutex
-	counts map[string]AdmissionCount
+	mu sync.Mutex
+	// classes maps policy → class label → tally; it is the single source
+	// of truth, with the aggregate views summing over it.
+	classes map[string]map[string]AdmissionCount
+}
+
+func (a *Admission) bump(policy, class string, accepted bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.classes == nil {
+		a.classes = make(map[string]map[string]AdmissionCount)
+	}
+	byClass := a.classes[policy]
+	if byClass == nil {
+		byClass = make(map[string]AdmissionCount)
+		a.classes[policy] = byClass
+	}
+	c := byClass[class]
+	if accepted {
+		c.Accepted++
+	} else {
+		c.Rejected++
+	}
+	byClass[class] = c
 }
 
 // Accept records an admitted request under the given policy name.
-func (a *Admission) Accept(policy string) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.counts == nil {
-		a.counts = make(map[string]AdmissionCount)
-	}
-	c := a.counts[policy]
-	c.Accepted++
-	a.counts[policy] = c
-}
+func (a *Admission) Accept(policy string) { a.bump(policy, ClassUnlabeled, true) }
 
 // Reject records a shed request under the given policy name.
-func (a *Admission) Reject(policy string) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.counts == nil {
-		a.counts = make(map[string]AdmissionCount)
-	}
-	c := a.counts[policy]
-	c.Rejected++
-	a.counts[policy] = c
-}
+func (a *Admission) Reject(policy string) { a.bump(policy, ClassUnlabeled, false) }
 
-// Policy returns the tally of one policy.
+// AcceptClass records an admitted request under a policy and SLO class.
+func (a *Admission) AcceptClass(policy, class string) { a.bump(policy, class, true) }
+
+// RejectClass records a shed request under a policy and SLO class.
+func (a *Admission) RejectClass(policy, class string) { a.bump(policy, class, false) }
+
+// Policy returns the tally of one policy, summed over classes.
 func (a *Admission) Policy(policy string) AdmissionCount {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.counts[policy]
+	var sum AdmissionCount
+	for _, c := range a.classes[policy] {
+		sum.Accepted += c.Accepted
+		sum.Rejected += c.Rejected
+	}
+	return sum
 }
 
-// Snapshot returns a copy of every policy's tally.
+// Class returns the tally of one policy restricted to one SLO class.
+func (a *Admission) Class(policy, class string) AdmissionCount {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.classes[policy][class]
+}
+
+// Snapshot returns a copy of every policy's tally, summed over classes.
 func (a *Admission) Snapshot() map[string]AdmissionCount {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	out := make(map[string]AdmissionCount, len(a.counts))
-	for k, v := range a.counts {
-		out[k] = v
+	out := make(map[string]AdmissionCount, len(a.classes))
+	for policy, byClass := range a.classes {
+		var sum AdmissionCount
+		for _, c := range byClass {
+			sum.Accepted += c.Accepted
+			sum.Rejected += c.Rejected
+		}
+		out[policy] = sum
+	}
+	return out
+}
+
+// ClassSnapshot returns a copy of every policy's per-class tallies.
+func (a *Admission) ClassSnapshot() map[string]map[string]AdmissionCount {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]map[string]AdmissionCount, len(a.classes))
+	for policy, byClass := range a.classes {
+		m := make(map[string]AdmissionCount, len(byClass))
+		for class, c := range byClass {
+			m[class] = c
+		}
+		out[policy] = m
 	}
 	return out
 }

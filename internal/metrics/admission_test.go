@@ -36,6 +36,37 @@ func TestAdmissionCounters(t *testing.T) {
 	}
 }
 
+// Per-class tallies stratify the per-policy aggregate: class counts sum
+// to the policy total, and classless records land under ClassUnlabeled.
+func TestAdmissionPerClass(t *testing.T) {
+	var a Admission
+	a.AcceptClass("affinity", "interactive")
+	a.AcceptClass("affinity", "interactive")
+	a.AcceptClass("affinity", "batch")
+	a.RejectClass("affinity", "batch")
+	a.Accept("affinity") // classless → unlabeled
+	if c := a.Class("affinity", "interactive"); c.Accepted != 2 || c.Rejected != 0 {
+		t.Fatalf("interactive tally %+v", c)
+	}
+	if c := a.Class("affinity", "batch"); c.Accepted != 1 || c.Rejected != 1 {
+		t.Fatalf("batch tally %+v", c)
+	}
+	if c := a.Class("affinity", ClassUnlabeled); c.Accepted != 1 {
+		t.Fatalf("unlabeled tally %+v", c)
+	}
+	if agg := a.Policy("affinity"); agg.Accepted != 4 || agg.Rejected != 1 {
+		t.Fatalf("aggregate %+v does not sum the classes", agg)
+	}
+	snap := a.ClassSnapshot()
+	if snap["affinity"]["batch"].Rejected != 1 {
+		t.Fatalf("class snapshot %+v", snap)
+	}
+	snap["affinity"]["batch"] = AdmissionCount{Rejected: 99}
+	if a.Class("affinity", "batch").Rejected != 1 {
+		t.Fatal("class snapshot aliases internal state")
+	}
+}
+
 func TestAdmissionConcurrent(t *testing.T) {
 	var a Admission
 	var wg sync.WaitGroup

@@ -1,0 +1,84 @@
+package ringbuf
+
+import "testing"
+
+func TestFIFOOrderAcrossWrapAndResize(t *testing.T) {
+	var r Ring[int64]
+	var want []int64
+	next := int64(0)
+	step := func(i int) int { return int((int64(i)*2654435761 + 1) % 7) }
+	for i := 0; i < 10000; i++ {
+		if step(i) < 4 {
+			r.PushBack(next)
+			want = append(want, next)
+			next++
+		} else if len(want) > 0 {
+			v, ok := r.PopFront()
+			if !ok || v != want[0] {
+				t.Fatalf("popped %d (ok=%v), want %d", v, ok, want[0])
+			}
+			want = want[1:]
+		}
+		if r.Len() != len(want) {
+			t.Fatalf("len = %d, want %d", r.Len(), len(want))
+		}
+	}
+}
+
+// The backing array must stay bounded by peak depth under sustained churn
+// — the failure mode of the `q = q[1:]` pattern this package replaces.
+func TestBoundedCapacityUnderSustainedChurn(t *testing.T) {
+	var r Ring[*int]
+	for i := 0; i < 1_000_000; i++ {
+		v := i
+		r.PushBack(&v)
+		if got, ok := r.PopFront(); !ok || *got != i {
+			t.Fatalf("iteration %d popped %v", i, got)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("len = %d after drain", r.Len())
+	}
+	if r.Cap() > 2*minCap {
+		t.Fatalf("backing array holds %d slots after 1M pushes at depth 1", r.Cap())
+	}
+	// Dequeued slots must be zeroed so popped elements are collectable.
+	for i := 0; i < r.Cap(); i++ {
+		if r.buf[i] != nil {
+			t.Fatalf("drained ring retains pointer at slot %d", i)
+		}
+	}
+}
+
+func TestShrinksAfterDrain(t *testing.T) {
+	var r Ring[int]
+	for i := 0; i < 4096; i++ {
+		r.PushBack(i)
+	}
+	peak := r.Cap()
+	if peak < 4096 {
+		t.Fatalf("cap %d below content %d", peak, 4096)
+	}
+	for i := 0; i < 4096; i++ {
+		if v, ok := r.PopFront(); !ok || v != i {
+			t.Fatalf("popped %d (ok=%v), want %d", v, ok, i)
+		}
+	}
+	if r.Cap() > minCap {
+		t.Fatalf("cap %d after drain, want <= %d", r.Cap(), minCap)
+	}
+}
+
+func TestEmptyPop(t *testing.T) {
+	var r Ring[string]
+	if _, ok := r.PopFront(); ok {
+		t.Fatal("empty ring popped")
+	}
+	r.PushBack("a")
+	if v, ok := r.PopFront(); !ok || v != "a" {
+		t.Fatalf("popped %q (ok=%v)", v, ok)
+	}
+	if _, ok := r.PopFront(); ok {
+		t.Fatal("drained ring popped")
+	}
+}

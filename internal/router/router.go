@@ -43,10 +43,23 @@ type Load struct {
 	// BacklogSeconds is the estimated execution time of those requests,
 	// from the instance's JCT estimator at routing time.
 	BacklogSeconds float64
+	// ClassBacklogSeconds splits BacklogSeconds by SLO class (indexed by
+	// sched.Class). The autoscaler scales on the interactive share so
+	// batch backlog alone never provisions capacity.
+	ClassBacklogSeconds [sched.NumClasses]float64
 	// RoutedRequests and RoutedTokens are cumulative totals since
 	// construction (never decremented); they measure routing balance.
 	RoutedRequests int64
 	RoutedTokens   int64
+}
+
+// ClassBacklog returns the backlog seconds of one SLO class (0 for
+// classes outside the indexed range).
+func (l Load) ClassBacklog(c sched.Class) float64 {
+	if int(c) >= len(l.ClassBacklogSeconds) {
+		return 0
+	}
+	return l.ClassBacklogSeconds[c]
 }
 
 // InstanceInfo is one instance's identity and live state, for stats
@@ -71,18 +84,21 @@ type RejectError struct {
 	Policy string
 	// Instance is the chosen instance's stable ID.
 	Instance int
+	// Class is the shed request's SLO class.
+	Class sched.Class
 	// BacklogSeconds is the instance's estimated backlog at rejection.
 	BacklogSeconds float64
 	// EstimateSeconds is the request's own estimated execution time.
 	EstimateSeconds float64
-	// BoundSeconds is the configured admission bound.
+	// BoundSeconds is the admission bound applied (the request class's
+	// budget when one is configured, MaxBacklogSeconds otherwise).
 	BoundSeconds float64
 }
 
 // Error implements error.
 func (e *RejectError) Error() string {
-	return fmt.Sprintf("router: %s rejected request for instance %d: backlog %.3gs + est %.3gs exceeds bound %.3gs",
-		e.Policy, e.Instance, e.BacklogSeconds, e.EstimateSeconds, e.BoundSeconds)
+	return fmt.Sprintf("router: %s rejected %s request for instance %d: backlog %.3gs + est %.3gs exceeds bound %.3gs",
+		e.Policy, e.Class, e.Instance, e.BacklogSeconds, e.EstimateSeconds, e.BoundSeconds)
 }
 
 // Config configures a Router.
@@ -94,6 +110,13 @@ type Config struct {
 	// its own estimated execution) exceeds the bound is rejected with a
 	// *RejectError instead of queued.
 	MaxBacklogSeconds float64
+	// ClassBacklogSeconds overrides MaxBacklogSeconds per SLO class. A
+	// class with a smaller budget is shed earlier: giving batch a budget
+	// below interactive's reserves the headroom between the two for
+	// interactive traffic, so batch load is dropped before interactive
+	// load ever is. A class entry of 0 disables admission control for
+	// that class; classes without an entry use MaxBacklogSeconds.
+	ClassBacklogSeconds map[sched.Class]float64
 	// Admission receives per-policy accept/reject counts. When nil the
 	// router allocates its own tally (see Router.Admission).
 	Admission *metrics.Admission
@@ -133,6 +156,7 @@ type pending struct {
 	instance int // stable instance ID
 	tokens   int64
 	seconds  float64
+	class    sched.Class
 	hashes   []uint64
 }
 
@@ -173,6 +197,11 @@ func New(cfg Config, instances ...engine.Engine) (*Router, error) {
 	}
 	if cfg.MaxBacklogSeconds < 0 {
 		return nil, fmt.Errorf("router: MaxBacklogSeconds must be non-negative, got %g", cfg.MaxBacklogSeconds)
+	}
+	for class, bound := range cfg.ClassBacklogSeconds {
+		if bound < 0 {
+			return nil, fmt.Errorf("router: %s backlog budget must be non-negative, got %g", class, bound)
+		}
 	}
 	admission := cfg.Admission
 	if admission == nil {
@@ -462,17 +491,22 @@ func (rt *Router) Submit(r *sched.Request) error {
 	}
 	st := v.insts[idx]
 	est := estSeconds(st, r, v.HitTokens(idx, r))
-	if bound := rt.cfg.MaxBacklogSeconds; bound > 0 && st.load.BacklogSeconds+est > bound {
-		rt.admission.Reject(rt.cfg.Policy.Name())
+	bound := rt.cfg.MaxBacklogSeconds
+	if classBound, ok := rt.cfg.ClassBacklogSeconds[r.Class]; ok {
+		bound = classBound
+	}
+	if bound > 0 && st.load.BacklogSeconds+est > bound {
+		rt.admission.RejectClass(rt.cfg.Policy.Name(), r.Class.String())
 		return &RejectError{
 			Policy:          rt.cfg.Policy.Name(),
 			Instance:        st.id,
+			Class:           r.Class,
 			BacklogSeconds:  st.load.BacklogSeconds,
 			EstimateSeconds: est,
 			BoundSeconds:    bound,
 		}
 	}
-	rt.admission.Accept(rt.cfg.Policy.Name())
+	rt.admission.AcceptClass(rt.cfg.Policy.Name(), r.Class.String())
 	var hashes []uint64
 	if c := st.eng.Cache(); c != nil {
 		hashes = engine.HashesOf(r, c.BlockTokens())
@@ -480,10 +514,13 @@ func (rt *Router) Submit(r *sched.Request) error {
 			st.pendingBlocks[h]++
 		}
 	}
-	rt.inflight[r.ID] = pending{instance: st.id, tokens: int64(r.Len()), seconds: est, hashes: hashes}
+	rt.inflight[r.ID] = pending{instance: st.id, tokens: int64(r.Len()), seconds: est, class: r.Class, hashes: hashes}
 	st.load.QueuedRequests++
 	st.load.QueuedTokens += int64(r.Len())
 	st.load.BacklogSeconds += est
+	if int(r.Class) < len(st.load.ClassBacklogSeconds) {
+		st.load.ClassBacklogSeconds[r.Class] += est
+	}
 	st.load.RoutedRequests++
 	st.load.RoutedTokens += int64(r.Len())
 	st.eng.Submit(r)
@@ -510,6 +547,12 @@ func (rt *Router) Completed(rec engine.Record) {
 	st.load.BacklogSeconds -= p.seconds
 	if st.load.BacklogSeconds < 1e-12 {
 		st.load.BacklogSeconds = 0
+	}
+	if int(p.class) < len(st.load.ClassBacklogSeconds) {
+		st.load.ClassBacklogSeconds[p.class] -= p.seconds
+		if st.load.ClassBacklogSeconds[p.class] < 1e-12 {
+			st.load.ClassBacklogSeconds[p.class] = 0
+		}
 	}
 	for _, h := range p.hashes {
 		if st.pendingBlocks[h]--; st.pendingBlocks[h] <= 0 {

@@ -233,6 +233,77 @@ func TestAdmissionControlRejects(t *testing.T) {
 	s.Run()
 }
 
+// Per-class admission: with a batch budget below the interactive bound,
+// batch requests are shed at a backlog depth where interactive requests
+// are still admitted — batch load sheds first, interactive is protected.
+func TestClassBudgetsShedBatchFirst(t *testing.T) {
+	var s sim.Sim
+	_, engines, chain := testCluster(t, &s, 1)
+	rt, err := New(Config{
+		Policy:            LeastLoaded{},
+		MaxBacklogSeconds: 10,
+		ClassBacklogSeconds: map[sched.Class]float64{
+			sched.ClassBatch: 2,
+		},
+	}, engines...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	*chain = rt.Completed
+
+	mkClass := func(id int64, class sched.Class) *sched.Request {
+		r := mkReq(id, int(id), 2000)
+		r.Class = class
+		return r
+	}
+	// Fill backlog past the batch budget with interactive work.
+	id := int64(0)
+	for rt.Loads()[0].BacklogSeconds <= 2 {
+		id++
+		if err := rt.Submit(mkClass(id, sched.ClassInteractive)); err != nil {
+			t.Fatalf("interactive submit below its bound rejected: %v", err)
+		}
+	}
+	// Batch is now over ITS budget while interactive still has headroom.
+	id++
+	err = rt.Submit(mkClass(id, sched.ClassBatch))
+	var rej *RejectError
+	if !errors.As(err, &rej) {
+		t.Fatalf("batch request above its budget not rejected (err %v)", err)
+	}
+	if rej.Class != sched.ClassBatch || rej.BoundSeconds != 2 {
+		t.Fatalf("reject carries class %v bound %g, want batch/2", rej.Class, rej.BoundSeconds)
+	}
+	id++
+	if err := rt.Submit(mkClass(id, sched.ClassInteractive)); err != nil {
+		t.Fatalf("interactive rejected while under its own bound: %v", err)
+	}
+	// Per-class tallies: all rejects are batch, no interactive shed.
+	adm := rt.Admission()
+	if c := adm.Class("leastloaded", "batch"); c.Rejected != 1 || c.Accepted != 0 {
+		t.Fatalf("batch tally %+v", c)
+	}
+	if c := adm.Class("leastloaded", "interactive"); c.Rejected != 0 || c.Accepted != id-1 {
+		t.Fatalf("interactive tally %+v (id %d)", c, id)
+	}
+	// Per-class backlog split sums to the aggregate and is all interactive.
+	l := rt.Loads()[0]
+	if l.ClassBacklog(sched.ClassBatch) != 0 {
+		t.Fatalf("batch backlog %g with no batch admitted", l.ClassBacklog(sched.ClassBatch))
+	}
+	if got := l.ClassBacklog(sched.ClassInteractive); math.Abs(got-l.BacklogSeconds) > 1e-9 {
+		t.Fatalf("interactive backlog %g != aggregate %g", got, l.BacklogSeconds)
+	}
+	s.Run()
+	for _, l := range rt.Loads() {
+		for c, b := range l.ClassBacklogSeconds {
+			if b != 0 {
+				t.Fatalf("class %d backlog %g after drain", c, b)
+			}
+		}
+	}
+}
+
 func TestPolicyByName(t *testing.T) {
 	for name, want := range map[string]string{
 		"userhash":    "userhash",

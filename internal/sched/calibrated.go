@@ -57,11 +57,17 @@ func (s *SRJF) Next(now float64) *Request {
 // Instead of sweeping the whole queue every decision, Calibrated keeps an
 // indexed min-heap on the time-invariant key
 //
-//	key(r) = jct(r) + λ/1000·r.ArrivalTime,
+//	key(r) = w(r.Class)·jct(r) + λ/1000·r.ArrivalTime,
 //
 // which differs from score(r, now) only by the term −λ/1000·now shared by
 // every waiting request, so the heap order equals the score order at any
-// instant. jct depends on the prefix cache, so keys change only when cache
+// instant. w is the per-class SLO weight (default 1 for every class, the
+// class-blind paper policy): a class with weight w pays w seconds of
+// effective JCT per real second, so batch work with w > 1 yields to
+// interactive work whenever their weighted costs cross. The weight scales
+// only the jct term — it is fixed per class at SetClassWeights time, so
+// the key stays time-invariant and the incremental-rekey invariant below
+// is unchanged. jct depends on the prefix cache, so keys change only when cache
 // contents change: wire SetHashChain and feed the cache's membership
 // changes to OnCacheChange (kvcache.Manager.Subscribe), and only requests
 // whose hash chains overlap a changed block are rekeyed — O(log n) per
@@ -80,10 +86,51 @@ type Calibrated struct {
 	// is baked into each waiting request's key.
 	lambda float64
 
+	// weights holds the per-class JCT multipliers; all 1 (class-blind)
+	// until SetClassWeights. Fixed before the first enqueue because each
+	// waiting request's weight is baked into its key.
+	weights [NumClasses]float64
+
 	chain  func(*Request) []uint64
 	h      entryHeap
 	seq    uint64
 	byHash map[uint64]map[*entry]struct{}
+}
+
+// uniformWeights is the class-blind default: every class weighs 1.
+func uniformWeights() [NumClasses]float64 {
+	var w [NumClasses]float64
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// classWeight looks a request's class weight up, treating out-of-range
+// classes as weight 1.
+func classWeight(w [NumClasses]float64, c Class) float64 {
+	if int(c) >= len(w) {
+		return 1
+	}
+	return w[c]
+}
+
+// setClassWeights validates and copies per-class weights into dst — the
+// one implementation shared by the heap scheduler and its sweep oracle,
+// so their weight semantics cannot drift apart. waiting guards the
+// baked-into-keys invariant: weights are immutable once requests wait.
+func setClassWeights(dst *[NumClasses]float64, w map[Class]float64, waiting int) {
+	if waiting > 0 {
+		panic("sched: SetClassWeights with requests already waiting")
+	}
+	for cl, wt := range w {
+		if wt <= 0 {
+			panic(fmt.Sprintf("sched: class weight for %s must be positive, got %g", cl, wt))
+		}
+		if int(cl) < len(dst) {
+			dst[cl] = wt
+		}
+	}
 }
 
 // NewCalibrated returns the calibrated scheduler. jct is evaluated at
@@ -92,7 +139,15 @@ func NewCalibrated(jct JCTFunc, lambda float64) *Calibrated {
 	if jct == nil {
 		panic("sched: Calibrated requires a JCT function")
 	}
-	return &Calibrated{jct: jct, lambda: lambda}
+	return &Calibrated{jct: jct, lambda: lambda, weights: uniformWeights()}
+}
+
+// SetClassWeights sets the per-class JCT multipliers of the heap key
+// (weights at missing keys stay 1, the class-blind default). Weights must
+// be positive and, like λ, are baked into every waiting request's key, so
+// they must be set before any request is enqueued.
+func (c *Calibrated) SetClassWeights(w map[Class]float64) {
+	setClassWeights(&c.weights, w, c.h.len())
 }
 
 // Name implements Scheduler.
@@ -135,20 +190,21 @@ func (c *Calibrated) Len() int { return c.h.len() }
 
 // key returns the time-invariant heap key of a request.
 func (c *Calibrated) key(r *Request) float64 {
-	return c.jct(r) + c.lambda/1000*r.ArrivalTime
+	return classWeight(c.weights, r.Class)*c.jct(r) + c.lambda/1000*r.ArrivalTime
 }
 
 // Score returns the Algorithm-1 score of a request at time now:
-// jct(n_input, n_cached) − λ·T_queue. Exported for tests and diagnostics.
-// Note Score clamps T_queue at zero while the dispatch order uses the
-// unclamped key, so for a request whose ArrivalTime lies in the future
-// (never produced by engines) Score does not predict dispatch order.
+// w(class)·jct(n_input, n_cached) − λ·T_queue. Exported for tests and
+// diagnostics. Note Score clamps T_queue at zero while the dispatch order
+// uses the unclamped key, so for a request whose ArrivalTime lies in the
+// future (never produced by engines) Score does not predict dispatch
+// order.
 func (c *Calibrated) Score(r *Request, now float64) float64 {
 	queue := now - r.ArrivalTime
 	if queue < 0 {
 		queue = 0
 	}
-	return c.jct(r) - c.lambda/1000*queue
+	return classWeight(c.weights, r.Class)*c.jct(r) - c.lambda/1000*queue
 }
 
 // Next implements Scheduler: the minimum-key request wins.
@@ -203,14 +259,15 @@ func (c *Calibrated) OnCacheChange(inserted, evicted []uint64) {
 
 // CalibratedSweep is the original O(queue × blocks) implementation of
 // Algorithm 1, kept as the reference oracle for Calibrated's equivalence
-// tests: every decision recomputes key(r) = jct(r) + λ/1000·ArrivalTime
-// for every waiting request and pops the minimum, breaking ties by enqueue
-// order exactly as Calibrated does.
+// tests: every decision recomputes key(r) = w(class)·jct(r) +
+// λ/1000·ArrivalTime for every waiting request and pops the minimum,
+// breaking ties by enqueue order exactly as Calibrated does.
 type CalibratedSweep struct {
-	jct    JCTFunc
-	lambda float64
-	q      []*entry
-	seq    uint64
+	jct     JCTFunc
+	lambda  float64
+	weights [NumClasses]float64
+	q       []*entry
+	seq     uint64
 }
 
 // NewCalibratedSweep returns the reference sweep scheduler.
@@ -218,7 +275,14 @@ func NewCalibratedSweep(jct JCTFunc, lambda float64) *CalibratedSweep {
 	if jct == nil {
 		panic("sched: CalibratedSweep requires a JCT function")
 	}
-	return &CalibratedSweep{jct: jct, lambda: lambda}
+	return &CalibratedSweep{jct: jct, lambda: lambda, weights: uniformWeights()}
+}
+
+// SetClassWeights mirrors Calibrated.SetClassWeights on the reference
+// sweep (shared implementation, so oracle and production semantics
+// cannot drift).
+func (c *CalibratedSweep) SetClassWeights(w map[Class]float64) {
+	setClassWeights(&c.weights, w, len(c.q))
 }
 
 // Name implements Scheduler.
@@ -240,7 +304,7 @@ func (c *CalibratedSweep) Len() int { return len(c.q) }
 func (c *CalibratedSweep) Next(now float64) *Request {
 	best := -1
 	for i, e := range c.q {
-		e.key = c.jct(e.r) + c.lambda/1000*e.r.ArrivalTime
+		e.key = classWeight(c.weights, e.r.Class)*c.jct(e.r) + c.lambda/1000*e.r.ArrivalTime
 		if best < 0 || entryLess(e, c.q[best]) {
 			best = i
 		}

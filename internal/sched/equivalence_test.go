@@ -52,10 +52,18 @@ func TestIncrementalCalibratedMatchesSweep(t *testing.T) {
 		}
 		// Twin caches driven with identical operation sequences; the
 		// incremental scheduler additionally receives mInc's change feed.
+		// Half the seeds run class-weighted (batch yields to interactive):
+		// the heap-vs-sweep equivalence must hold with SLO class weights
+		// folded into the key exactly as in the class-blind default.
 		mInc, mSweep := mkMgr(), mkMgr()
 		inc := sched.NewCalibrated(missJCT(mInc), 500)
 		engine.AttachIncremental(inc, mInc)
 		sweep := sched.NewCalibratedSweep(missJCT(mSweep), 500)
+		if seed%2 == 1 {
+			weights := map[sched.Class]float64{sched.ClassBatch: 2 + float64(seed)}
+			inc.SetClassWeights(weights)
+			sweep.SetClassWeights(weights)
+		}
 
 		nextID := int64(1)
 		now := 0.0
@@ -70,7 +78,11 @@ func TestIncrementalCalibratedMatchesSweep(t *testing.T) {
 			for i := 0; i < tail; i++ {
 				toks = append(toks, uint64(nextID)<<16|uint64(i))
 			}
-			r := &sched.Request{ID: nextID, UserID: user, Tokens: toks, ArrivalTime: now}
+			class := sched.ClassInteractive
+			if rng.Intn(3) == 0 {
+				class = sched.ClassBatch
+			}
+			r := &sched.Request{ID: nextID, UserID: user, Tokens: toks, ArrivalTime: now, Class: class}
 			nextID++
 			return r
 		}

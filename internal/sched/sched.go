@@ -5,6 +5,60 @@
 // (Algorithm 1).
 package sched
 
+import (
+	"fmt"
+
+	"repro/internal/ringbuf"
+)
+
+// Class is a request's SLO class. Serving traffic is stratified:
+// latency-sensitive interactive requests (a user is waiting on the
+// answer) and throughput-oriented batch requests (offline pipelines that
+// tolerate queueing and shedding). The class threads through admission
+// control (per-class backlog budgets), scheduling (per-class JCT weights)
+// and autoscaling (only interactive pressure provisions capacity).
+type Class uint8
+
+const (
+	// ClassInteractive is the latency-sensitive class and the zero value:
+	// unlabeled requests are treated as interactive, so single-tenant
+	// workloads keep their pre-class behavior exactly.
+	ClassInteractive Class = iota
+	// ClassBatch is the throughput-oriented class: shed first under
+	// pressure, deprioritized by class-weighted scheduling.
+	ClassBatch
+	// NumClasses sizes per-class arrays indexed by Class.
+	NumClasses = 2
+)
+
+// String returns the class's label ("interactive", "batch").
+func (c Class) String() string {
+	switch c {
+	case ClassInteractive:
+		return "interactive"
+	case ClassBatch:
+		return "batch"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// ParseClass maps a label to its Class; the empty string is interactive
+// (the default for unlabeled traffic).
+func ParseClass(s string) (Class, error) {
+	switch s {
+	case "", "interactive":
+		return ClassInteractive, nil
+	case "batch":
+		return ClassBatch, nil
+	default:
+		return 0, fmt.Errorf("sched: unknown SLO class %q", s)
+	}
+}
+
+// Classes returns every class in index order.
+func Classes() []Class { return []Class{ClassInteractive, ClassBatch} }
+
 // Request is one prefill-only request travelling through an engine.
 type Request struct {
 	// ID is unique within a run.
@@ -17,6 +71,8 @@ type Request struct {
 	Tokens []uint64
 	// ArrivalTime is the simulated arrival timestamp in seconds.
 	ArrivalTime float64
+	// Class is the request's SLO class (zero value: interactive).
+	Class Class
 
 	// AllowedTokens optionally constrains the output distribution (§2.3:
 	// e.g. []string{"Yes","No"}); interpreted by the serving frontend.
@@ -54,13 +110,12 @@ type Scheduler interface {
 // --- FIFO ---
 
 // FIFO is first-come-first-serve scheduling (the PagedAttention baseline's
-// policy). The queue is a ring buffer: dequeued slots are reused, so the
-// backing array is bounded by the peak queue depth — not by the total
-// requests ever enqueued — and it shrinks when the queue drains.
+// policy). The queue is a shared ring buffer (internal/ringbuf): dequeued
+// slots are reused, so the backing array is bounded by the peak queue
+// depth — not by the total requests ever enqueued — and it shrinks when
+// the queue drains.
 type FIFO struct {
-	buf   []*Request
-	head  int
-	count int
+	q ringbuf.Ring[*Request]
 }
 
 // NewFIFO returns an empty FIFO scheduler.
@@ -70,44 +125,13 @@ func NewFIFO() *FIFO { return &FIFO{} }
 func (f *FIFO) Name() string { return "fifo" }
 
 // Enqueue implements Scheduler.
-func (f *FIFO) Enqueue(r *Request) {
-	if f.count == len(f.buf) {
-		f.resize(2 * f.count)
-	}
-	f.buf[(f.head+f.count)%len(f.buf)] = r
-	f.count++
-}
+func (f *FIFO) Enqueue(r *Request) { f.q.PushBack(r) }
 
 // Len implements Scheduler.
-func (f *FIFO) Len() int { return f.count }
+func (f *FIFO) Len() int { return f.q.Len() }
 
 // Next implements Scheduler.
 func (f *FIFO) Next(now float64) *Request {
-	if f.count == 0 {
-		return nil
-	}
-	r := f.buf[f.head]
-	f.buf[f.head] = nil
-	f.head = (f.head + 1) % len(f.buf)
-	f.count--
-	if len(f.buf) > minFIFOCap && f.count <= len(f.buf)/4 {
-		f.resize(len(f.buf) / 2)
-	}
+	r, _ := f.q.PopFront()
 	return r
-}
-
-const minFIFOCap = 8
-
-// resize moves the live window into a fresh backing array of the given
-// capacity (at least minFIFOCap).
-func (f *FIFO) resize(n int) {
-	if n < minFIFOCap {
-		n = minFIFOCap
-	}
-	buf := make([]*Request, n)
-	for i := 0; i < f.count; i++ {
-		buf[i] = f.buf[(f.head+i)%len(f.buf)]
-	}
-	f.buf = buf
-	f.head = 0
 }

@@ -43,13 +43,8 @@ func TestFIFOBoundedMemoryUnderSustainedLoad(t *testing.T) {
 	if f.Len() != 0 {
 		t.Fatalf("len = %d after drain", f.Len())
 	}
-	if len(f.buf) > 2*minFIFOCap {
-		t.Fatalf("backing array holds %d slots after 1M requests at depth 1", len(f.buf))
-	}
-	for i, r := range f.buf {
-		if r != nil {
-			t.Fatalf("drained queue retains request pointer at slot %d", i)
-		}
+	if f.q.Cap() > 16 {
+		t.Fatalf("backing array holds %d slots after 1M requests at depth 1", f.q.Cap())
 	}
 }
 
@@ -182,6 +177,80 @@ func TestCalibratedTieBreak(t *testing.T) {
 				t.Fatalf("%s popped %d, want %d", s.Name(), r.ID, want)
 			}
 		}
+	}
+}
+
+// A batch request with a weight > 1 yields to an interactive request of
+// equal (or moderately larger) JCT, in the heap scheduler and the sweep
+// identically; weight 1 (default) stays class-blind.
+func TestClassWeightsDeprioritizeBatch(t *testing.T) {
+	mk := func() []*Request {
+		batch := req(1, 100, 0)
+		batch.Class = ClassBatch
+		inter := req(2, 150, 0) // longer → larger JCT, but interactive
+		return []*Request{batch, inter}
+	}
+	for _, tc := range []struct {
+		weights map[Class]float64
+		want    []int64
+	}{
+		{nil, []int64{1, 2}},                                // class-blind: shorter batch first
+		{map[Class]float64{ClassBatch: 2}, []int64{2, 1}},   // 2·100 > 150: interactive first
+		{map[Class]float64{ClassBatch: 1.2}, []int64{1, 2}}, // 1.2·100 < 150: still batch first
+	} {
+		heap := NewCalibrated(lenJCT, 0)
+		swp := NewCalibratedSweep(lenJCT, 0)
+		if tc.weights != nil {
+			heap.SetClassWeights(tc.weights)
+			swp.SetClassWeights(tc.weights)
+		}
+		for _, s := range []Scheduler{heap, swp} {
+			for _, r := range mk() {
+				s.Enqueue(r)
+			}
+			for _, want := range tc.want {
+				if r := s.Next(0); r.ID != want {
+					t.Fatalf("%s with weights %v popped %d, want %d", s.Name(), tc.weights, r.ID, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSetClassWeightsRejectsBadInput(t *testing.T) {
+	c := NewCalibrated(lenJCT, 0)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("non-positive weight accepted")
+			}
+		}()
+		c.SetClassWeights(map[Class]float64{ClassBatch: 0})
+	}()
+	c.Enqueue(req(1, 10, 0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetClassWeights accepted with requests waiting")
+		}
+	}()
+	c.SetClassWeights(map[Class]float64{ClassBatch: 2})
+}
+
+func TestParseClass(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Class
+	}{{"", ClassInteractive}, {"interactive", ClassInteractive}, {"batch", ClassBatch}} {
+		got, err := ParseClass(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseClass(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseClass("bulk"); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	if ClassInteractive.String() != "interactive" || ClassBatch.String() != "batch" {
+		t.Fatal("class labels drifted")
 	}
 }
 

@@ -202,8 +202,10 @@ type InstanceStats struct {
 	QueuedRequests int     `json:"queued_requests"`
 	QueuedTokens   int64   `json:"queued_tokens"`
 	BacklogSeconds float64 `json:"backlog_seconds"`
-	RoutedRequests int64   `json:"routed_requests"`
-	RoutedTokens   int64   `json:"routed_tokens"`
+	// ClassBacklogSeconds splits BacklogSeconds by SLO class label.
+	ClassBacklogSeconds map[string]float64 `json:"class_backlog_seconds,omitempty"`
+	RoutedRequests      int64              `json:"routed_requests"`
+	RoutedTokens        int64              `json:"routed_tokens"`
 }
 
 // AutoscaleStats reports the pool controller's state in a StatsSnapshot.
@@ -227,7 +229,10 @@ type StatsSnapshot struct {
 	// Admission maps policy name to its accept/reject counts (empty in
 	// single-engine mode, which has no admission control).
 	Admission map[string]AdmissionStats `json:"admission"`
-	Autoscale *AutoscaleStats           `json:"autoscale,omitempty"`
+	// AdmissionByClass stratifies Admission by SLO class label:
+	// policy → class → counts.
+	AdmissionByClass map[string]map[string]AdmissionStats `json:"admission_by_class,omitempty"`
+	Autoscale        *AutoscaleStats                      `json:"autoscale,omitempty"`
 }
 
 // AdmissionStats is one policy's accept/reject tally in a StatsSnapshot.
@@ -258,20 +263,41 @@ func (b *Backend) Stats() StatsSnapshot {
 		return snap
 	}
 	for _, info := range b.rt.InstanceInfos() {
+		classBacklog := make(map[string]float64, sched.NumClasses)
+		for _, class := range sched.Classes() {
+			if s := info.Load.ClassBacklog(class); s > 0 {
+				classBacklog[class.String()] = s
+			}
+		}
 		snap.Instances = append(snap.Instances, InstanceStats{
-			ID:             info.ID,
-			Draining:       info.Draining,
-			GPUs:           info.GPUs,
-			QueuedRequests: info.Load.QueuedRequests,
-			QueuedTokens:   info.Load.QueuedTokens,
-			BacklogSeconds: info.Load.BacklogSeconds,
-			RoutedRequests: info.Load.RoutedRequests,
-			RoutedTokens:   info.Load.RoutedTokens,
+			ID:                  info.ID,
+			Draining:            info.Draining,
+			GPUs:                info.GPUs,
+			QueuedRequests:      info.Load.QueuedRequests,
+			QueuedTokens:        info.Load.QueuedTokens,
+			BacklogSeconds:      info.Load.BacklogSeconds,
+			ClassBacklogSeconds: classBacklog,
+			RoutedRequests:      info.Load.RoutedRequests,
+			RoutedTokens:        info.Load.RoutedTokens,
 		})
 	}
 	snap.Routable = b.rt.Routable()
-	for pol, c := range b.rt.Admission().Snapshot() {
-		snap.Admission[pol] = AdmissionStats{Accepted: c.Accepted, Rejected: c.Rejected}
+	// One ClassSnapshot serves both views: summing it here keeps the
+	// aggregate consistent with the per-class breakdown (two separate
+	// snapshot calls could interleave with a concurrent submit).
+	for pol, byClass := range b.rt.Admission().ClassSnapshot() {
+		m := make(map[string]AdmissionStats, len(byClass))
+		var agg AdmissionStats
+		for class, c := range byClass {
+			m[class] = AdmissionStats{Accepted: c.Accepted, Rejected: c.Rejected}
+			agg.Accepted += c.Accepted
+			agg.Rejected += c.Rejected
+		}
+		snap.Admission[pol] = agg
+		if snap.AdmissionByClass == nil {
+			snap.AdmissionByClass = make(map[string]map[string]AdmissionStats)
+		}
+		snap.AdmissionByClass[pol] = m
 	}
 	if b.ctl != nil {
 		st := b.ctl.Stats()
@@ -349,8 +375,16 @@ func (b *Backend) Close() {
 }
 
 // Submit serves one prompt with an allowed-token constraint, blocking
-// until the engine completes it (in scaled wall time).
+// until the engine completes it (in scaled wall time). The request is
+// interactive-class; batch tenants go through SubmitClass.
 func (b *Backend) Submit(prompt string, allowed []string, userID int) (Result, error) {
+	return b.SubmitClass(prompt, allowed, userID, sched.ClassInteractive)
+}
+
+// SubmitClass is Submit with an explicit SLO class: the class selects the
+// request's admission budget, scheduling weight and autoscale treatment
+// in routed mode.
+func (b *Backend) SubmitClass(prompt string, allowed []string, userID int, class sched.Class) (Result, error) {
 	if len(allowed) == 0 {
 		allowed = []string{"Yes", "No"}
 	}
@@ -375,6 +409,7 @@ func (b *Backend) Submit(prompt string, allowed []string, userID int) (Result, e
 		Tokens:        toks,
 		ArrivalTime:   b.sim.Now(),
 		AllowedTokens: allowed,
+		Class:         class,
 	}
 	b.waiters[id] = ch
 	if b.rt != nil {

@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"repro/internal/router"
+	"repro/internal/sched"
 )
 
 // CompletionRequest is the accepted subset of the OpenAI completions API,
@@ -21,6 +22,11 @@ type CompletionRequest struct {
 	AllowedTokens []string `json:"allowed_tokens,omitempty"`
 	// User routes requests of one user to shared prefix caches.
 	User string `json:"user,omitempty"`
+	// SLOClass selects the request's SLO class ("interactive" default,
+	// "batch"): the class's admission budget, scheduling weight and
+	// autoscale treatment apply in routed mode. The X-SLO-Class header
+	// sets it too; the body field wins when both are present.
+	SLOClass string `json:"slo_class,omitempty"`
 }
 
 // CompletionChoice is one completion result.
@@ -128,7 +134,16 @@ func (h *Handler) completions(w http.ResponseWriter, r *http.Request) {
 	if req.User != "" {
 		userID = userHash(req.User)
 	}
-	res, err := h.Backend.Submit(req.Prompt, req.AllowedTokens, userID)
+	classLabel := req.SLOClass
+	if classLabel == "" {
+		classLabel = r.Header.Get("X-SLO-Class")
+	}
+	class, err := sched.ParseClass(classLabel)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+		return
+	}
+	res, err := h.Backend.SubmitClass(req.Prompt, req.AllowedTokens, userID, class)
 	if err != nil {
 		// Admission-control sheds are the client's signal to back off.
 		var rej *router.RejectError

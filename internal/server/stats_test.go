@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro/internal/autoscale"
@@ -84,6 +85,66 @@ func TestRoutedBackendStatsWithoutAutoscale(t *testing.T) {
 	}
 	if snap.Autoscale != nil {
 		t.Fatal("unexpected autoscale block on a fixed pool")
+	}
+}
+
+// The SLO class travels from the HTTP surface (X-SLO-Class header or
+// slo_class body field) into the router's per-class tallies and back out
+// through /v1/stats.
+func TestSLOClassFromRequestToStats(t *testing.T) {
+	b := testRoutedBackend(t, 2, router.Config{Policy: router.LeastLoaded{}})
+	h := NewHandler(b, "test-model")
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	post := func(body string, hdr map[string]string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/completions", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	// One batch via body field, one batch via header, one unlabeled.
+	for _, tc := range []struct {
+		body string
+		hdr  map[string]string
+	}{
+		{`{"prompt": "Score this document. Answer:", "slo_class": "batch"}`, nil},
+		{`{"prompt": "Score that document. Answer:"}`, map[string]string{"X-SLO-Class": "batch"}},
+		{`{"prompt": "Recommend this post? Answer:", "user": "u1"}`, nil},
+	} {
+		resp := post(tc.body, tc.hdr)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("completion status %d for %s", resp.StatusCode, tc.body)
+		}
+		resp.Body.Close()
+	}
+	// Unknown class is a client error.
+	resp := post(`{"prompt": "x", "slo_class": "bulk"}`, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown class status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	snap := b.Stats()
+	byClass := snap.AdmissionByClass["leastloaded"]
+	if byClass["batch"].Accepted != 2 {
+		t.Fatalf("batch tally %+v", byClass)
+	}
+	if byClass["interactive"].Accepted != 1 {
+		t.Fatalf("interactive tally %+v", byClass)
+	}
+	if agg := snap.Admission["leastloaded"]; agg.Accepted != 3 {
+		t.Fatalf("aggregate tally %+v", agg)
 	}
 }
 

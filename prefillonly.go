@@ -30,9 +30,26 @@ import (
 )
 
 // Request is a prefill-only request: a tokenized prompt with a user
-// identity (for routing and prefix sharing) and an optional allowed-token
-// output constraint.
+// identity (for routing and prefix sharing), an SLO class, and an
+// optional allowed-token output constraint.
 type Request = sched.Request
+
+// Class is a request's SLO class: latency-sensitive interactive traffic
+// versus throughput-oriented batch traffic. Classes select admission
+// budgets (SimulationConfig.ClassBacklogSeconds), scheduling weights
+// (SimulationConfig.ClassWeights) and autoscale treatment (only
+// interactive pressure provisions capacity).
+type Class = sched.Class
+
+// The SLO classes. Unlabeled requests are interactive (the zero value),
+// so single-tenant workloads behave exactly as before classes existed.
+const (
+	ClassInteractive = sched.ClassInteractive
+	ClassBatch       = sched.ClassBatch
+)
+
+// ParseClass maps a label ("", "interactive", "batch") to its Class.
+func ParseClass(s string) (Class, error) { return sched.ParseClass(s) }
 
 // Record is the completion report of one request: arrival/start/finish
 // timestamps, cache-hit length and spill accounting.
@@ -94,6 +111,10 @@ type CreditVerificationConfig = workload.CreditVerificationConfig
 // for routing experiments.
 type SkewedConfig = workload.SkewedConfig
 
+// ClassMixConfig parameterizes NewClassMix, the two-class SLO workload
+// (Zipf-skewed interactive traffic mixed with long batch documents).
+type ClassMixConfig = workload.ClassMixConfig
+
 // AutoscaleConfig tunes the elastic instance pool
 // (SimulationConfig.Autoscale): floor/ceiling, control tick, backlog and
 // reject-rate triggers, and the cold-start delay (derived from the model
@@ -128,6 +149,14 @@ func NewCreditVerification(cfg CreditVerificationConfig) *Dataset {
 // (see SimulationConfig.RoutingPolicy).
 func NewSkewed(cfg SkewedConfig) *Dataset {
 	return workload.Skewed(cfg)
+}
+
+// NewClassMix generates the two-class SLO dataset: Zipf-skewed
+// interactive traffic interleaved with long batch documents, each request
+// labeled with its Class (see SimulationConfig.ClassBacklogSeconds and
+// ClassWeights).
+func NewClassMix(cfg ClassMixConfig) *Dataset {
+	return workload.ClassMix(cfg)
 }
 
 // AssignPoissonArrivals stamps the paper's §7.1 arrival pattern onto a

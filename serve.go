@@ -40,6 +40,14 @@ type ServerConfig struct {
 	// whose projected completion wait exceeds the bound are answered with
 	// HTTP 429. Requires Instances > 1.
 	MaxBacklogSeconds float64
+	// ClassBacklogSeconds overrides MaxBacklogSeconds per SLO class
+	// (clients select a class via the slo_class body field or X-SLO-Class
+	// header): a batch budget below the interactive bound sheds batch
+	// load first. Requires Instances > 1.
+	ClassBacklogSeconds map[Class]float64
+	// ClassWeights deprioritizes SLO classes in the calibrated scheduler
+	// (batch weight > 1 makes batch yield to interactive).
+	ClassWeights map[Class]float64
 	// Autoscale enables the elastic instance pool (internal/autoscale):
 	// the cluster starts at MinInstances engines and scales between that
 	// floor and the Instances ceiling from live backlog and admission
@@ -80,11 +88,12 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		GPU:           cfg.GPU,
 		ProfileMaxLen: cfg.MaxInputLen,
 	}
-	opts := core.Options{Lambda: cfg.Lambda}
+	opts := core.Options{Lambda: cfg.Lambda, ClassWeights: cfg.ClassWeights}
 	var b *server.Backend
 	var err error
-	if cfg.Instances <= 1 && (cfg.RoutingPolicy != "" || cfg.MaxBacklogSeconds != 0 || cfg.Autoscale) {
-		return nil, fmt.Errorf("prefillonly: RoutingPolicy, MaxBacklogSeconds and Autoscale require Instances > 1")
+	if cfg.Instances <= 1 && (cfg.RoutingPolicy != "" || cfg.MaxBacklogSeconds != 0 ||
+		len(cfg.ClassBacklogSeconds) != 0 || cfg.Autoscale) {
+		return nil, fmt.Errorf("prefillonly: RoutingPolicy, MaxBacklogSeconds, ClassBacklogSeconds and Autoscale require Instances > 1")
 	}
 	if !cfg.Autoscale && cfg.MinInstances != 0 {
 		return nil, fmt.Errorf("prefillonly: MinInstances requires Autoscale")
@@ -99,8 +108,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			}
 		}
 		rcfg := router.Config{
-			Policy:            pol,
-			MaxBacklogSeconds: cfg.MaxBacklogSeconds,
+			Policy:              pol,
+			MaxBacklogSeconds:   cfg.MaxBacklogSeconds,
+			ClassBacklogSeconds: cfg.ClassBacklogSeconds,
 		}
 		if cfg.Autoscale {
 			b, err = server.NewAutoscaledBackend(ecfg, opts, cfg.Speedup, rcfg, autoscale.Config{
@@ -128,9 +138,14 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // state.
 func (s *Server) Stats() server.StatsSnapshot { return s.backend.Stats() }
 
-// Submit serves one prompt directly (bypassing HTTP).
+// Submit serves one prompt directly (bypassing HTTP), interactive-class.
 func (s *Server) Submit(prompt string, allowed []string, userID int) (ServerResult, error) {
 	return s.backend.Submit(prompt, allowed, userID)
+}
+
+// SubmitClass is Submit with an explicit SLO class.
+func (s *Server) SubmitClass(prompt string, allowed []string, userID int, class Class) (ServerResult, error) {
+	return s.backend.SubmitClass(prompt, allowed, userID, class)
 }
 
 // Close stops the backend clock.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/router"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/tokenizer"
 )
@@ -64,6 +65,15 @@ type SimulationConfig struct {
 	// whose projected completion wait exceeds the bound are rejected and
 	// counted (see Rejected) instead of queued. Requires RoutingPolicy.
 	MaxBacklogSeconds float64
+	// ClassBacklogSeconds overrides MaxBacklogSeconds per SLO class in
+	// routed mode: a batch budget below the interactive bound sheds batch
+	// load before interactive load is ever touched. Requires
+	// RoutingPolicy.
+	ClassBacklogSeconds map[Class]float64
+	// ClassWeights deprioritizes SLO classes in PrefillOnly's calibrated
+	// scheduler (class JCT × weight inside the heap key; batch weight > 1
+	// makes batch yield to interactive). Requires EnginePrefillOnly.
+	ClassWeights map[Class]float64
 	// Autoscale enables the elastic instance pool (internal/autoscale):
 	// the cluster starts at Autoscale.MinInstances engines and scales
 	// between that floor and Autoscale.MaxInstances (default: the GPUs
@@ -76,15 +86,16 @@ type SimulationConfig struct {
 
 // Simulation is a deterministic serving cluster on a virtual clock.
 type Simulation struct {
-	cfg      SimulationConfig
-	sim      *sim.Sim
-	cluster  *cluster.Cluster      // legacy §7.1 routing ("" policy)
-	router   *router.Router        // load/affinity routing (non-empty policy)
-	ctl      *autoscale.Controller // elastic pool (Autoscale config)
-	tok      *tokenizer.Tokenizer
-	records  []Record
-	rejected int
-	nextID   int64
+	cfg             SimulationConfig
+	sim             *sim.Sim
+	cluster         *cluster.Cluster      // legacy §7.1 routing ("" policy)
+	router          *router.Router        // load/affinity routing (non-empty policy)
+	ctl             *autoscale.Controller // elastic pool (Autoscale config)
+	tok             *tokenizer.Tokenizer
+	records         []Record
+	rejected        int
+	rejectedByClass [sched.NumClasses]int
+	nextID          int64
 	// instances lists every engine ever created (autoscaled additions
 	// included, released ones retained) for cumulative cache statistics.
 	instances []engine.Engine
@@ -121,8 +132,13 @@ func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
 		}
 	} else if cfg.MaxBacklogSeconds != 0 {
 		return nil, fmt.Errorf("prefillonly: MaxBacklogSeconds requires a RoutingPolicy")
+	} else if len(cfg.ClassBacklogSeconds) != 0 {
+		return nil, fmt.Errorf("prefillonly: ClassBacklogSeconds requires a RoutingPolicy")
 	} else if cfg.Autoscale != nil {
 		return nil, fmt.Errorf("prefillonly: Autoscale requires a RoutingPolicy")
+	}
+	if len(cfg.ClassWeights) != 0 && cfg.Engine != EnginePrefillOnly {
+		return nil, fmt.Errorf("prefillonly: ClassWeights requires the %s engine", EnginePrefillOnly)
 	}
 	s := &Simulation{cfg: cfg, sim: &sim.Sim{}, tok: tokenizer.New()}
 
@@ -143,7 +159,7 @@ func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
 	mk := func() (engine.Engine, error) {
 		switch cfg.Engine {
 		case EnginePrefillOnly:
-			return core.New(ecfg, core.Options{Lambda: cfg.Lambda})
+			return core.New(ecfg, core.Options{Lambda: cfg.Lambda, ClassWeights: cfg.ClassWeights})
 		case EnginePagedAttention:
 			return engine.NewPagedAttention(ecfg)
 		case EngineChunkedPrefill:
@@ -202,8 +218,9 @@ func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
 	instances = s.instances
 	if pol != nil {
 		rt, err := router.New(router.Config{
-			Policy:            pol,
-			MaxBacklogSeconds: cfg.MaxBacklogSeconds,
+			Policy:              pol,
+			MaxBacklogSeconds:   cfg.MaxBacklogSeconds,
+			ClassBacklogSeconds: cfg.ClassBacklogSeconds,
 		}, instances...)
 		if err != nil {
 			return nil, err
@@ -244,6 +261,9 @@ func (s *Simulation) submit(r *Request) {
 				panic(fmt.Sprintf("prefillonly: routing request %d: %v", r.ID, err))
 			}
 			s.rejected++
+			if int(rej.Class) < len(s.rejectedByClass) {
+				s.rejectedByClass[rej.Class]++
+			}
 		}
 		return
 	}
@@ -300,6 +320,14 @@ func (s *Simulation) Records() []Record { return s.records }
 // Rejected returns the requests shed by admission control so far (always 0
 // without a RoutingPolicy and MaxBacklogSeconds).
 func (s *Simulation) Rejected() int { return s.rejected }
+
+// RejectedClass returns the requests of one SLO class shed so far.
+func (s *Simulation) RejectedClass(c Class) int {
+	if int(c) >= len(s.rejectedByClass) {
+		return 0
+	}
+	return s.rejectedByClass[c]
+}
 
 // Router returns the routing frontend (nil when the legacy §7.1 cluster is
 // active).
