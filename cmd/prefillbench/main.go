@@ -3,15 +3,27 @@
 //
 // Usage:
 //
-//	prefillbench -exp table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|sec2.3|sec6.3|routing|autoscale|slo|all
+//	prefillbench -exp table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|sec2.3|sec6.3|routing|autoscale|slo|kernel|all
 //	             [-scenario L4|A100|H100|H100-NVLink] [-dataset post|credit]
-//	             [-seed N] [-small] [-json FILE]
+//	             [-seed N] [-small] [-parallel N] [-json FILE]
 //
 // fig6/fig7 honour -scenario and -dataset to render a single panel
 // (the full grid is expensive); "all" runs everything cheap plus one panel.
-// autoscale and slo honour -json to additionally write their sweep rows as
-// JSON (the CI benchmark smoke step records BENCH_autoscale.json and
-// BENCH_slo.json this way).
+//
+// -parallel N fans each sweep's independent (config, seed) cells across N
+// workers (default GOMAXPROCS; -parallel 1 reproduces the serial
+// executor). Cell results are aggregated in index order and every cell is
+// self-contained, so output rows are byte-identical at any parallelism —
+// only the wall clock changes.
+//
+// routing, autoscale, slo and kernel honour -json to additionally write
+// their results as JSON (-exp all rejects -json: it would be ambiguous
+// which experiment's rows the file holds); the CI benchmark smoke step records
+// BENCH_routing.json, BENCH_autoscale.json, BENCH_slo.json and
+// BENCH_kernel.json this way). Sweep JSON carries {"rows": ..., "executor":
+// ...}: the executor block records serial-equivalent vs. parallel wall
+// seconds and allocations per cell, so harness-speed regressions are as
+// visible as simulation-result regressions.
 package main
 
 import (
@@ -31,21 +43,39 @@ func main() {
 	dataset := flag.String("dataset", "post", "dataset for fig6/fig7 panels (post|credit)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	small := flag.Bool("small", false, "use scaled-down datasets for quick runs")
-	jsonPath := flag.String("json", "", "also write the experiment's rows as JSON (autoscale and slo)")
+	parallel := flag.Int("parallel", experiments.DefaultParallel(),
+		"sweep cell parallelism (1 = serial executor; output rows are identical either way)")
+	jsonPath := flag.String("json", "", "also write the experiment's results as JSON (routing, autoscale, slo, kernel)")
+	compare := flag.Bool("compare-serial", false,
+		"run the sweep twice (serial then -parallel) and record the measured wall-clock speedup; fails unless rows are byte-identical (routing, autoscale, slo)")
 	flag.Parse()
 
-	if err := run(*exp, *scenario, *dataset, *seed, *small, *jsonPath); err != nil {
+	if err := run(*exp, *scenario, *dataset, *seed, *small, *parallel, *jsonPath, *compare); err != nil {
 		fmt.Fprintln(os.Stderr, "prefillbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, scenario, dataset string, seed int64, small bool, jsonPath string) error {
+// jsonExps and compareExps are the experiments that honour -json and
+// -compare-serial; anything else rejects the flag instead of silently
+// dropping it (a CI step would otherwise record no artifact and exit 0).
+var (
+	jsonExps    = map[string]bool{"routing": true, "autoscale": true, "slo": true, "kernel": true}
+	compareExps = map[string]bool{"routing": true, "autoscale": true, "slo": true, "all": true}
+)
+
+func run(exp, scenario, dataset string, seed int64, small bool, parallel int, jsonPath string, compare bool) error {
+	if jsonPath != "" && !jsonExps[exp] {
+		return fmt.Errorf("-json is not supported by -exp %s (use routing, autoscale, slo or kernel)", exp)
+	}
+	if compare && !compareExps[exp] {
+		return fmt.Errorf("-compare-serial is not supported by -exp %s (use routing, autoscale or slo)", exp)
+	}
 	switch exp {
 	case "table1":
 		return table1(seed)
 	case "table2":
-		return table2()
+		return table2(parallel)
 	case "table3":
 		return table3()
 	case "fig3":
@@ -55,41 +85,46 @@ func run(exp, scenario, dataset string, seed int64, small bool, jsonPath string)
 	case "fig5":
 		return fig5()
 	case "fig6", "fig7":
-		return figQPS(exp, scenario, dataset, seed, small)
+		return figQPS(exp, scenario, dataset, seed, small, parallel)
 	case "fig8":
-		return fig8(seed)
+		return fig8(seed, parallel)
 	case "fig9":
-		return fig9(seed)
+		return fig9(seed, parallel)
 	case "fig10":
 		return fig10()
 	case "fig11":
-		return fig11(seed)
+		return fig11(seed, parallel)
 	case "sec2.3":
 		return sec23()
 	case "sec6.3":
 		return sec63()
 	case "routing":
-		return routing(seed, small)
+		return routing(seed, small, parallel, jsonPath, compare)
 	case "autoscale":
-		return autoscaleExp(seed, small, jsonPath)
+		return autoscaleExp(seed, small, parallel, jsonPath, compare)
 	case "slo":
-		return sloExp(seed, small, jsonPath)
+		return sloExp(seed, small, parallel, jsonPath, compare)
+	case "kernel":
+		return kernelExp(small, jsonPath)
 	case "all":
 		for _, e := range []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig10", "sec2.3", "sec6.3"} {
-			if err := run(e, scenario, dataset, seed, small, ""); err != nil {
+			if err := run(e, scenario, dataset, seed, small, parallel, "", false); err != nil {
 				return err
 			}
 		}
-		if err := routing(seed, true); err != nil {
+		if err := routing(seed, true, parallel, "", compare); err != nil {
 			return err
 		}
-		if err := autoscaleExp(seed, true, jsonPath); err != nil {
+		if err := autoscaleExp(seed, true, parallel, "", compare); err != nil {
 			return err
 		}
-		if err := sloExp(seed, true, ""); err != nil {
+		if err := sloExp(seed, true, parallel, "", compare); err != nil {
 			return err
 		}
-		return figQPS("fig6", scenario, dataset, seed, true)
+		if err := kernelExp(true, ""); err != nil {
+			return err
+		}
+		return figQPS("fig6", scenario, dataset, seed, true, parallel)
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
@@ -98,6 +133,85 @@ func run(exp, scenario, dataset string, seed int64, small bool, jsonPath string)
 func header(title string) *tabwriter.Writer {
 	fmt.Printf("\n=== %s ===\n", title)
 	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+// printExecutor summarizes a sweep's cell-executor telemetry under its
+// table.
+func printExecutor(stats experiments.CellStats) {
+	fmt.Printf("executor: %d cells x%d workers, wall %.2fs, serial-equivalent %.2fs, speedup %.2fx, %.0f allocs/cell\n",
+		stats.Cells, stats.Parallelism, stats.WallSeconds, stats.SerialEquivalentSeconds,
+		stats.Speedup, stats.AllocsPerCell)
+}
+
+// benchEnvelope is the sweep JSON shape: result rows plus the executor's
+// wall-clock/allocation telemetry, and (under -compare-serial) the
+// measured serial-vs-parallel comparison.
+type benchEnvelope struct {
+	Rows             any                   `json:"rows"`
+	Executor         experiments.CellStats `json:"executor"`
+	SerialComparison *serialComparison     `json:"serial_comparison,omitempty"`
+}
+
+// serialComparison is a measured (not estimated) speedup: the same sweep
+// executed twice, once at parallel=1 and once at the requested
+// parallelism, wall clock against wall clock. Rows must be byte-identical
+// between the two runs — prefillbench fails otherwise, so the CI smoke
+// step doubles as a determinism oracle.
+type serialComparison struct {
+	SerialWallSeconds   float64 `json:"serial_wall_seconds"`
+	ParallelWallSeconds float64 `json:"parallel_wall_seconds"`
+	Parallelism         int     `json:"parallelism"`
+	HostCPUs            int     `json:"host_cpus"`
+	MeasuredSpeedup     float64 `json:"measured_speedup"`
+	RowsByteIdentical   bool    `json:"rows_byte_identical"`
+}
+
+// compareSerial reruns a sweep at parallel=1 against already-obtained
+// parallel results: it checks row-level byte identity and returns the
+// measured wall-clock comparison.
+func compareSerial[T any](parRows []T, parStats experiments.CellStats,
+	runSerial func() ([]T, experiments.CellStats, error)) (*serialComparison, error) {
+	serialRows, serialStats, err := runSerial()
+	if err != nil {
+		return nil, fmt.Errorf("serial comparison run: %w", err)
+	}
+	a, err := json.Marshal(serialRows)
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(parRows)
+	if err != nil {
+		return nil, err
+	}
+	cmp := &serialComparison{
+		SerialWallSeconds:   serialStats.WallSeconds,
+		ParallelWallSeconds: parStats.WallSeconds,
+		Parallelism:         parStats.Parallelism,
+		HostCPUs:            parStats.HostCPUs,
+		RowsByteIdentical:   string(a) == string(b),
+	}
+	if cmp.ParallelWallSeconds > 0 {
+		cmp.MeasuredSpeedup = cmp.SerialWallSeconds / cmp.ParallelWallSeconds
+	}
+	if !cmp.RowsByteIdentical {
+		return cmp, fmt.Errorf("determinism violation: parallel rows diverge from serial rows")
+	}
+	fmt.Printf("serial comparison: serial %.2fs vs parallel %.2fs at x%d workers (%d CPUs) = %.2fx, rows byte-identical\n",
+		cmp.SerialWallSeconds, cmp.ParallelWallSeconds, cmp.Parallelism, cmp.HostCPUs, cmp.MeasuredSpeedup)
+	return cmp, nil
+}
+
+// writeJSON writes v to path (pretty-printed, trailing newline).
+func writeJSON(path string, v any) error {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", path)
+	return nil
 }
 
 func table1(seed int64) error {
@@ -110,8 +224,8 @@ func table1(seed int64) error {
 	return w.Flush()
 }
 
-func table2() error {
-	rows, err := experiments.Table2()
+func table2(parallel int) error {
+	rows, stats, err := experiments.Table2Parallel(parallel)
 	if err != nil {
 		return err
 	}
@@ -126,7 +240,11 @@ func table2() error {
 	for _, r := range rows {
 		fmt.Fprintf(w, "%v\t%s\t%d\t%s\t%s\n", r.Engine, r.Scenario, r.MIL, mark(r.WL1OK), mark(r.WL2OK))
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	printExecutor(stats)
+	return nil
 }
 
 func table3() error {
@@ -178,7 +296,7 @@ func fig5() error {
 	return w.Flush()
 }
 
-func figQPS(which, scenario, dataset string, seed int64, small bool) error {
+func figQPS(which, scenario, dataset string, seed int64, small bool, parallel int) error {
 	sc, err := experiments.ScenarioByName(scenario)
 	if err != nil {
 		return err
@@ -187,7 +305,7 @@ func figQPS(which, scenario, dataset string, seed int64, small bool) error {
 	if strings.HasPrefix(dataset, "credit") {
 		kind = experiments.CreditVerification
 	}
-	panel, err := qpsPanel(sc, kind, seed, small)
+	panel, stats, err := qpsPanel(sc, kind, seed, small, parallel)
 	if err != nil {
 		return err
 	}
@@ -206,41 +324,24 @@ func figQPS(which, scenario, dataset string, seed int64, small bool) error {
 		fmt.Fprintf(w, "%v\t%.3f\t%.2f\t%.3f\t%.2f\t%.2f\n",
 			p.Engine, p.QPS, lat, p.ThroughputRPS, p.CacheHitRate, p.InfeasibleFrac)
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	printExecutor(stats)
+	return nil
 }
 
-func qpsPanel(sc experiments.Scenario, kind experiments.DatasetKind, seed int64, small bool) (*experiments.QPSLatencyPanel, error) {
+func qpsPanel(sc experiments.Scenario, kind experiments.DatasetKind, seed int64, small bool, parallel int) (*experiments.QPSLatencyPanel, experiments.CellStats, error) {
 	if !small {
-		return experiments.QPSLatency(sc, kind, nil, seed)
+		return experiments.QPSLatencyParallel(sc, kind, nil, seed, parallel)
 	}
-	// Scaled-down panel: swap the dataset via a local sweep.
+	// Scaled-down panel: same grid over the small dataset.
 	ds := experiments.SmallDataset(kind, seed)
-	x, err := experiments.SaturationQPS(experiments.PrefillOnly, sc, ds)
-	if err != nil {
-		return nil, err
-	}
-	panel := &experiments.QPSLatencyPanel{Scenario: sc.Name, Dataset: ds.Name + " (small)", SaturationQPS: x}
-	for _, eng := range experiments.AllEngines() {
-		for _, mult := range experiments.QPSGridMultipliers {
-			res, err := experiments.Run(experiments.RunConfig{
-				Kind: eng, Scenario: sc, Dataset: ds, QPS: x * mult, Seed: seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			panel.Points = append(panel.Points, experiments.QPSLatencyPoint{
-				Engine: eng, QPS: x * mult,
-				MeanLatency: res.Latency.Mean, P99Latency: res.Latency.P99,
-				ThroughputRPS: res.ThroughputRPS, CacheHitRate: res.CacheHitRate,
-				InfeasibleFrac: res.InfeasibleFrac,
-			})
-		}
-	}
-	return panel, nil
+	return experiments.QPSLatencyOn(sc, ds.Name+" (small)", ds, nil, seed, parallel)
 }
 
-func fig8(seed int64) error {
-	rows, err := experiments.Figure8(seed)
+func fig8(seed int64, parallel int) error {
+	rows, stats, err := experiments.Figure8Parallel(seed, parallel)
 	if err != nil {
 		return err
 	}
@@ -249,11 +350,15 @@ func fig8(seed int64) error {
 	for _, r := range rows {
 		fmt.Fprintf(w, "%v\t%v\t%.4f\n", r.Engine, r.NVLink, r.ThroughputRPS)
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	printExecutor(stats)
+	return nil
 }
 
-func fig9(seed int64) error {
-	rows, err := experiments.Figure9(seed)
+func fig9(seed int64, parallel int) error {
+	rows, stats, err := experiments.Figure9Parallel(seed, parallel)
 	if err != nil {
 		return err
 	}
@@ -262,7 +367,11 @@ func fig9(seed int64) error {
 	for _, r := range rows {
 		fmt.Fprintf(w, "%v\t%.2f\t%.3f\t%.2f\n", r.Engine, r.QPS, r.ThroughputRPS, r.CacheHitRate)
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	printExecutor(stats)
+	return nil
 }
 
 func fig10() error {
@@ -278,8 +387,8 @@ func fig10() error {
 	return w.Flush()
 }
 
-func fig11(seed int64) error {
-	curves, err := experiments.Figure11(seed)
+func fig11(seed int64, parallel int) error {
+	curves, stats, err := experiments.Figure11Parallel(seed, parallel)
 	if err != nil {
 		return err
 	}
@@ -288,13 +397,26 @@ func fig11(seed int64) error {
 	for _, c := range curves {
 		fmt.Fprintf(w, "%.0f\t%.2f\t%.2f\n", c.Lambda, c.MeanLatency, c.P99Latency)
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	printExecutor(stats)
+	return nil
 }
 
-func routing(seed int64, small bool) error {
-	rows, err := experiments.RoutingSweep(seed, small)
+func routing(seed int64, small bool, parallel int, jsonPath string, compare bool) error {
+	rows, stats, err := experiments.RoutingSweepParallel(seed, small, parallel)
 	if err != nil {
 		return err
+	}
+	var cmp *serialComparison
+	if compare {
+		cmp, err = compareSerial(rows, stats, func() ([]experiments.RoutingSweepRow, experiments.CellStats, error) {
+			return experiments.RoutingSweepParallel(seed, small, 1)
+		})
+		if err != nil {
+			return err
+		}
 	}
 	w := header("Routing: policy comparison, 4x PrefillOnly on L4")
 	fmt.Fprintln(w, "dataset\tpolicy\tqps\tmean JCT (s)\tp99 (s)\thit rate\tbalance\trejected")
@@ -302,13 +424,29 @@ func routing(seed int64, small bool) error {
 		fmt.Fprintf(w, "%s\t%s\t%.2f\t%.3f\t%.3f\t%.2f\t%.2f\t%d\n",
 			r.Dataset, r.Policy, r.QPS, r.MeanJCT, r.P99JCT, r.CacheHitRate, r.BalanceRatio, r.Rejected)
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	printExecutor(stats)
+	if jsonPath != "" {
+		return writeJSON(jsonPath, benchEnvelope{Rows: rows, Executor: stats, SerialComparison: cmp})
+	}
+	return nil
 }
 
-func autoscaleExp(seed int64, small bool, jsonPath string) error {
-	rows, err := experiments.AutoscaleSweep(seed, small)
+func autoscaleExp(seed int64, small bool, parallel int, jsonPath string, compare bool) error {
+	rows, stats, err := experiments.AutoscaleSweepParallel(seed, small, parallel)
 	if err != nil {
 		return err
+	}
+	var cmp *serialComparison
+	if compare {
+		cmp, err = compareSerial(rows, stats, func() ([]experiments.AutoscaleSweepRow, experiments.CellStats, error) {
+			return experiments.AutoscaleSweepParallel(seed, small, 1)
+		})
+		if err != nil {
+			return err
+		}
 	}
 	w := header("Autoscale: fixed fleets vs elastic pool, square-wave burst on L4")
 	fmt.Fprintln(w, "mode\tmean JCT (s)\tp99 (s)\tshed\tGPU-s\tsavings vs peak\tpool\tups\tdowns\tcold start (s)")
@@ -320,23 +458,26 @@ func autoscaleExp(seed int64, small bool, jsonPath string) error {
 	if err := w.Flush(); err != nil {
 		return err
 	}
+	printExecutor(stats)
 	if jsonPath != "" {
-		buf, err := json.MarshalIndent(rows, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("\nwrote %s\n", jsonPath)
+		return writeJSON(jsonPath, benchEnvelope{Rows: rows, Executor: stats, SerialComparison: cmp})
 	}
 	return nil
 }
 
-func sloExp(seed int64, small bool, jsonPath string) error {
-	rows, err := experiments.SLOSweep(seed, small)
+func sloExp(seed int64, small bool, parallel int, jsonPath string, compare bool) error {
+	rows, stats, err := experiments.SLOSweepParallel(seed, small, parallel)
 	if err != nil {
 		return err
+	}
+	var cmp *serialComparison
+	if compare {
+		cmp, err = compareSerial(rows, stats, func() ([]experiments.SLOSweepRow, experiments.CellStats, error) {
+			return experiments.SLOSweepParallel(seed, small, 1)
+		})
+		if err != nil {
+			return err
+		}
 	}
 	w := header("SLO classes: class-blind vs class-aware at equal GPU-seconds, fixed fleet on L4")
 	fmt.Fprintln(w, "mode\tint mean (s)\tint p99 (s)\tint shed\tbatch mean (s)\tbatch shed\tbatch goodput (tok/s)\tGPU-s\tcompleted")
@@ -348,15 +489,32 @@ func sloExp(seed int64, small bool, jsonPath string) error {
 	if err := w.Flush(); err != nil {
 		return err
 	}
+	printExecutor(stats)
 	if jsonPath != "" {
-		buf, err := json.MarshalIndent(rows, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("\nwrote %s\n", jsonPath)
+		return writeJSON(jsonPath, benchEnvelope{Rows: rows, Executor: stats, SerialComparison: cmp})
+	}
+	return nil
+}
+
+func kernelExp(small bool, jsonPath string) error {
+	events := 4_000_000
+	if small {
+		events = 1_000_000
+	}
+	res, err := experiments.KernelBench(events)
+	if err != nil {
+		return err
+	}
+	w := header(fmt.Sprintf("Kernel: sim event throughput, %d events at depth %d", res.Events, res.Depth))
+	fmt.Fprintln(w, "path\tevents/sec\tallocs/event")
+	fmt.Fprintf(w, "closure (pre-refactor idiom)\t%.0f\t%.2f\n", res.ClosureEventsPerSec, res.ClosureAllocsPerEvent)
+	fmt.Fprintf(w, "fast path (AtFunc/AfterFunc)\t%.0f\t%.2f\n", res.FastPathEventsPerSec, res.FastPathAllocsPerEvent)
+	fmt.Fprintf(w, "speedup\t%.2fx\t\n", res.FastPathSpeedup)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if jsonPath != "" {
+		return writeJSON(jsonPath, res)
 	}
 	return nil
 }

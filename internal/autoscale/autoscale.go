@@ -235,8 +235,13 @@ func (c *Controller) Start() {
 		return
 	}
 	c.running = true
-	c.s.After(c.cfg.TickSeconds, c.tick)
+	c.s.AfterFunc(c.cfg.TickSeconds, tickEvent, c)
 }
+
+// tickEvent is the controller's tick callback on the sim fast path: a
+// package-level function plus the controller pointer, so the periodic
+// tick allocates nothing per firing (a method value `c.tick` would).
+func tickEvent(arg any) { arg.(*Controller).tick() }
 
 // Stop ends the tick loop after the currently scheduled tick fires.
 func (c *Controller) Stop() { c.stopped = true }
@@ -424,7 +429,7 @@ func (c *Controller) tick() {
 	// batch run's event queue then drains and the simulation terminates;
 	// KeepAlive servers tick until stopped.
 	if c.cfg.KeepAlive || c.s.Pending() > 0 || c.rt.InFlight() > 0 {
-		c.s.After(c.cfg.TickSeconds, c.tick)
+		c.s.AfterFunc(c.cfg.TickSeconds, tickEvent, c)
 	} else {
 		c.running = false
 	}

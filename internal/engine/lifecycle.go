@@ -47,7 +47,10 @@ type inflight struct {
 	cached, restored int
 	restoreSeconds   float64
 	spilled          int64
-	release          func() // unpin + unreserve
+	// unpin and unreserve release the cached-prefix pin and the resident-
+	// KV reservation; either may be nil. Kept as separate fields so begin
+	// does not build a combining closure per request.
+	unpin, unreserve func()
 
 	// est caches the priced executor pass when the restore decision
 	// already ran it, so estimate does not repeat the cost model.
@@ -67,7 +70,7 @@ func (l *lifecycle) begin(r *sched.Request, now float64) *inflight {
 	if cached > r.Len() {
 		cached = r.Len()
 	}
-	inf := &inflight{req: r, start: now, hashes: hashes, cached: cached}
+	inf := &inflight{req: r, start: now, hashes: hashes, cached: cached, unpin: unpin}
 	if l.hostRestore {
 		l.maybeRestore(inf)
 	}
@@ -76,15 +79,13 @@ func (l *lifecycle) begin(r *sched.Request, now float64) *inflight {
 	// activation working set over the host link; resident-KV engines
 	// additionally spill whatever fresh KV the pool cannot hold.
 	spilled := l.spillGPUs * l.prof.actSpill(r.Len())
-	unreserve := func() {}
 	if l.residentKV {
 		need := int64(inf.fresh()) * l.cfg.Model.KVBytesPerToken()
 		var short int64
-		short, unreserve = l.cache.Reserve(need)
+		short, inf.unreserve = l.cache.Reserve(need)
 		spilled += short
 	}
 	inf.spilled = spilled
-	inf.release = func() { unpin(); unreserve() }
 	return inf
 }
 
@@ -137,7 +138,12 @@ func (l *lifecycle) estimate(inf *inflight) float64 {
 // engines whose KV is already in the pool, prefix-first insert with
 // suffix discarding for PrefillOnly), and emit the Record.
 func (l *lifecycle) finish(inf *inflight, finish float64) {
-	inf.release()
+	if inf.unpin != nil {
+		inf.unpin()
+	}
+	if inf.unreserve != nil {
+		inf.unreserve()
+	}
 	l.cache.InsertH(inf.hashes, finish)
 	l.cfg.emit(Record{
 		Req:            inf.req,

@@ -40,6 +40,9 @@ type TensorParallel struct {
 	scheduler sched.Scheduler
 	lc        lifecycle
 	busy      bool
+	// cur is the request in service (fast-path completion payload is the
+	// engine itself; see tpDone).
+	cur *inflight
 }
 
 // NewTensorParallel builds the TP=2 baseline (standard prefill, FCFS, full
@@ -124,11 +127,18 @@ func (t *TensorParallel) dispatch() {
 	// Both GPUs spill their half of the overflow concurrently.
 	dur := t.lc.estimate(inf) + t.commSeconds(inf.fresh()) +
 		spillSeconds(inf.spilled, 2*t.lc.cfg.GPU.HostBWBytes)
-	t.sim.After(dur, func() {
-		t.lc.finish(inf, t.sim.Now())
-		t.busy = false
-		t.dispatch()
-	})
+	t.cur = inf
+	t.sim.AfterFunc(dur, tpDone, t)
+}
+
+// tpDone is the zero-alloc completion callback for TensorParallel.
+func tpDone(arg any) {
+	t := arg.(*TensorParallel)
+	inf := t.cur
+	t.cur = nil
+	t.lc.finish(inf, t.sim.Now())
+	t.busy = false
+	t.dispatch()
 }
 
 // PipelineParallel is the PP=2 baseline: the layers are split into two
@@ -141,6 +151,10 @@ type PipelineParallel struct {
 	lc        lifecycle
 
 	stageBusy [2]bool
+	// stage0Cur/stage1Cur hold each stage's in-service request (fast-path
+	// completion payload is the engine itself; see ppStage0Done and
+	// ppStage1Done).
+	stage0Cur, stage1Cur *inflight
 	// handoff queues stage-0 completions for stage 1. A ring
 	// (internal/ringbuf): the previous `handoff = handoff[1:]` advance
 	// retained every finished inflight in the backing array for the life
@@ -227,12 +241,20 @@ func (p *PipelineParallel) dispatch0() {
 	// share of the pass on the per-stage cost model.
 	dur := ppStageImbalance*p.lc.estimate(inf) + p.handoffSeconds(inf.fresh()) +
 		spillSeconds(inf.spilled/2, p.lc.cfg.GPU.HostBWBytes)
-	p.sim.After(dur, func() {
-		p.stageBusy[0] = false
-		p.handoff.PushBack(inf)
-		p.dispatch1()
-		p.dispatch0()
-	})
+	p.stage0Cur = inf
+	p.sim.AfterFunc(dur, ppStage0Done, p)
+}
+
+// ppStage0Done hands the finished stage-0 pass to stage 1 (zero-alloc
+// completion callback).
+func ppStage0Done(arg any) {
+	p := arg.(*PipelineParallel)
+	inf := p.stage0Cur
+	p.stage0Cur = nil
+	p.stageBusy[0] = false
+	p.handoff.PushBack(inf)
+	p.dispatch1()
+	p.dispatch0()
 }
 
 func (p *PipelineParallel) dispatch1() {
@@ -242,9 +264,17 @@ func (p *PipelineParallel) dispatch1() {
 	inf, _ := p.handoff.PopFront()
 	p.stageBusy[1] = true
 	dur := p.lc.estimate(inf) + spillSeconds(inf.spilled/2, p.lc.cfg.GPU.HostBWBytes)
-	p.sim.After(dur, func() {
-		p.lc.finish(inf, p.sim.Now())
-		p.stageBusy[1] = false
-		p.dispatch1()
-	})
+	p.stage1Cur = inf
+	p.sim.AfterFunc(dur, ppStage1Done, p)
+}
+
+// ppStage1Done completes the request after its stage-1 pass (zero-alloc
+// completion callback).
+func ppStage1Done(arg any) {
+	p := arg.(*PipelineParallel)
+	inf := p.stage1Cur
+	p.stage1Cur = nil
+	p.lc.finish(inf, p.sim.Now())
+	p.stageBusy[1] = false
+	p.dispatch1()
 }

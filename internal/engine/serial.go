@@ -20,6 +20,10 @@ type Serial struct {
 	lc        lifecycle
 
 	busy bool
+	// cur is the request in service; the completion event carries the
+	// engine itself (sim fast path), so the inflight rides here instead
+	// of in a per-dispatch closure.
+	cur *inflight
 }
 
 // SerialSpec configures a Serial engine beyond the shared Config.
@@ -118,11 +122,19 @@ func (s *Serial) dispatch() {
 	inf := s.lc.begin(r, now)
 	dur := s.lc.estimate(inf) + inf.restoreSeconds +
 		spillSeconds(inf.spilled, s.lc.cfg.GPU.HostBWBytes)
-	s.sim.After(dur, func() {
-		s.lc.finish(inf, s.sim.Now())
-		s.busy = false
-		s.dispatch()
-	})
+	s.cur = inf
+	s.sim.AfterFunc(dur, serialDone, s)
+}
+
+// serialDone is the zero-alloc completion callback: one device, one
+// request in service, so the engine pointer is the whole event payload.
+func serialDone(arg any) {
+	s := arg.(*Serial)
+	inf := s.cur
+	s.cur = nil
+	s.lc.finish(inf, s.sim.Now())
+	s.busy = false
+	s.dispatch()
 }
 
 // spillSeconds prices the beyond-MIL fallback: each spilled byte crosses

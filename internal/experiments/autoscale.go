@@ -230,11 +230,22 @@ type AutoscaleSweepRow struct {
 // burst scenario: a fixed trough-sized fleet (sheds the peak), a fixed
 // peak-sized fleet (over-provisions the trough), and the elastic pool,
 // all at the same admission bound. The elastic pool should match the
-// peak fleet's shed rate at materially fewer GPU-seconds.
+// peak fleet's shed rate at materially fewer GPU-seconds. Serial
+// convenience wrapper around AutoscaleSweepParallel.
 func AutoscaleSweep(seed int64, small bool) ([]AutoscaleSweepRow, error) {
+	rows, _, err := AutoscaleSweepParallel(seed, small, 1)
+	return rows, err
+}
+
+// AutoscaleSweepParallel is AutoscaleSweep fanned across the cell
+// executor: one saturation cell, then the three provisioning modes as
+// independent cells (each generates its own dataset; arrivals are
+// restamped per run). The savings-vs-peak column is derived after all
+// cells return, so rows are byte-identical at any parallelism.
+func AutoscaleSweepParallel(seed int64, small bool, parallel int) ([]AutoscaleSweepRow, CellStats, error) {
 	sc, err := ScenarioByName("L4")
 	if err != nil {
-		return nil, err
+		return nil, CellStats{}, err
 	}
 	// Scenario constants follow two sizing rules. The floor must absorb a
 	// burst front for roughly one cold start, and the admission bound must
@@ -258,12 +269,16 @@ func AutoscaleSweep(seed int64, small bool) ([]AutoscaleSweepRow, error) {
 		return workload.Skewed(workload.SkewedConfig{Seed: seed})
 	}
 	// Per-instance saturation: SaturationQPS measures the default
-	// two-instance cluster.
+	// two-instance cluster. One cell — the runner still times it so the
+	// sweep's serial-equivalent accounting covers the whole sweep.
 	satDS := mkDataset()
-	x, err := SaturationQPS(PrefillOnly, sc, satDS)
+	sat, satStats, err := runCells(1, 1, func(int) (float64, error) {
+		return SaturationQPS(PrefillOnly, sc, satDS)
+	})
 	if err != nil {
-		return nil, fmt.Errorf("autoscale saturation: %w", err)
+		return nil, satStats, fmt.Errorf("autoscale saturation: %w", err)
 	}
+	x := sat[0]
 	perInst := x / 2
 	// Square wave: trough keeps the floor ~70% busy, peak needs ~80% of
 	// the full ceiling. Period sized so the run spans ~3 cycles.
@@ -283,18 +298,14 @@ func AutoscaleSweep(seed int64, small bool) ([]AutoscaleSweepRow, error) {
 		{Scenario: sc, Rate: rate, MaxRate: peak, Seed: seed, FixedInstances: maxInst, MaxBacklogSeconds: bound},
 		{Scenario: sc, Rate: rate, MaxRate: peak, Seed: seed, MinInstances: minInst, MaxInstances: maxInst, MaxBacklogSeconds: bound},
 	}
-	var rows []AutoscaleSweepRow
-	var peakGPUSeconds float64
-	for _, rc := range runs {
-		rc.Dataset = mkDataset() // fresh dataset per run: arrivals are restamped
+	rows, runStats, err := runCells(parallel, len(runs), func(i int) (AutoscaleSweepRow, error) {
+		rc := runs[i]
+		rc.Dataset = mkDataset() // fresh dataset per cell: arrivals are restamped
 		res, err := AutoscaleRun(rc)
 		if err != nil {
-			return nil, fmt.Errorf("autoscale %s: %w", rc.Dataset.Name, err)
+			return AutoscaleSweepRow{}, fmt.Errorf("autoscale %s: %w", rc.Dataset.Name, err)
 		}
-		if rc.FixedInstances == maxInst {
-			peakGPUSeconds = res.GPUSeconds
-		}
-		rows = append(rows, AutoscaleSweepRow{
+		return AutoscaleSweepRow{
 			Mode:             res.Mode,
 			Dataset:          res.Dataset,
 			MeanJCT:          res.Latency.Mean,
@@ -308,12 +319,21 @@ func AutoscaleSweep(seed int64, small bool) ([]AutoscaleSweepRow, error) {
 			ScaleUps:         res.ScaleUps,
 			ScaleDowns:       res.ScaleDowns,
 			ColdStartSeconds: res.ColdStartSeconds,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, satStats.Merge(runStats), err
+	}
+	var peakGPUSeconds float64
+	for i := range rows {
+		if runs[i].FixedInstances == maxInst {
+			peakGPUSeconds = rows[i].GPUSeconds
+		}
 	}
 	for i := range rows {
 		if peakGPUSeconds > 0 {
 			rows[i].GPUSavingsVsPeak = 1 - rows[i].GPUSeconds/peakGPUSeconds
 		}
 	}
-	return rows, nil
+	return rows, satStats.Merge(runStats), nil
 }

@@ -193,16 +193,16 @@ func RoutingRunPolicy(rc RoutingRunConfig, pol router.Policy) (*RoutingRunResult
 
 // RoutingSweepRow is one (policy, dataset) cell of the routing comparison.
 type RoutingSweepRow struct {
-	Policy        string
-	Dataset       string
-	QPS           float64
-	MeanJCT       float64
-	P99JCT        float64
-	ThroughputRPS float64
-	CacheHitRate  float64
-	BalanceRatio  float64
-	Completed     int
-	Rejected      int
+	Policy        string  `json:"policy"`
+	Dataset       string  `json:"dataset"`
+	QPS           float64 `json:"qps"`
+	MeanJCT       float64 `json:"mean_jct_seconds"`
+	P99JCT        float64 `json:"p99_jct_seconds"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	BalanceRatio  float64 `json:"balance_ratio"`
+	Completed     int     `json:"completed"`
+	Rejected      int     `json:"rejected"`
 }
 
 // RoutingDatasets builds the sweep's two arrival patterns: the Zipf-skewed
@@ -230,43 +230,69 @@ func RoutingDatasets(seed int64, small bool) []*workload.Dataset {
 // RoutingSweep compares the three routing policies on skewed and uniform
 // arrivals: PrefillOnly instances on the L4 scenario, offered load chosen
 // near the cluster's aggregate saturation so queues form and routing
-// decisions matter.
+// decisions matter. Serial convenience wrapper around RoutingSweepParallel.
 func RoutingSweep(seed int64, small bool) ([]RoutingSweepRow, error) {
+	rows, _, err := RoutingSweepParallel(seed, small, 1)
+	return rows, err
+}
+
+// RoutingSweepParallel is RoutingSweep fanned across the cell executor:
+// phase 1 measures each dataset's saturation throughput, phase 2 runs the
+// (dataset, policy) grid. Every cell takes its own clone of the immutable
+// base dataset, so rows are byte-identical at any parallelism.
+func RoutingSweepParallel(seed int64, small bool, parallel int) ([]RoutingSweepRow, CellStats, error) {
 	sc, err := ScenarioByName("L4")
 	if err != nil {
-		return nil, err
+		return nil, CellStats{}, err
 	}
 	const instances = 4
-	var rows []RoutingSweepRow
-	for _, ds := range RoutingDatasets(seed, small) {
-		// SaturationQPS measures the default two-instance cluster;
-		// scale to this sweep's instance count at ~90% utilization.
-		x, err := SaturationQPS(PrefillOnly, sc, ds)
+	base := RoutingDatasets(seed, small)
+
+	// Phase 1: per-dataset saturation. SaturationQPS measures the default
+	// two-instance cluster; scale to this sweep's instance count at ~90%
+	// utilization.
+	qpsFor, satStats, err := runCells(parallel, len(base), func(i int) (float64, error) {
+		x, err := SaturationQPS(PrefillOnly, sc, base[i].Clone())
 		if err != nil {
-			return nil, fmt.Errorf("routing saturation on %s: %w", ds.Name, err)
+			return 0, fmt.Errorf("routing saturation on %s: %w", base[i].Name, err)
 		}
-		qps := x * instances / 2 * 0.9
-		for _, pol := range AllRoutingPolicies() {
-			res, err := RoutingRun(RoutingRunConfig{
-				Policy: pol, Scenario: sc, Dataset: ds,
-				QPS: qps, Seed: seed, Instances: instances,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("routing %v on %s: %w", pol, ds.Name, err)
-			}
-			rows = append(rows, RoutingSweepRow{
-				Policy:        res.Policy,
-				Dataset:       res.Dataset,
-				QPS:           res.QPS,
-				MeanJCT:       res.Latency.Mean,
-				P99JCT:        res.Latency.P99,
-				ThroughputRPS: res.ThroughputRPS,
-				CacheHitRate:  res.CacheHitRate,
-				BalanceRatio:  res.BalanceRatio,
-				Completed:     res.Completed,
-				Rejected:      res.Rejected,
-			})
+		return x * instances / 2 * 0.9, nil
+	})
+	if err != nil {
+		return nil, satStats, err
+	}
+
+	// Phase 2: the (dataset, policy) grid in the serial loop's row order.
+	pols := AllRoutingPolicies()
+	type cell struct{ di, pi int }
+	cells := make([]cell, 0, len(base)*len(pols))
+	for di := range base {
+		for pi := range pols {
+			cells = append(cells, cell{di, pi})
 		}
 	}
-	return rows, nil
+	rows, runStats, err := runCells(parallel, len(cells), func(i int) (RoutingSweepRow, error) {
+		c := cells[i]
+		ds := base[c.di].Clone()
+		res, err := RoutingRun(RoutingRunConfig{
+			Policy: pols[c.pi], Scenario: sc, Dataset: ds,
+			QPS: qpsFor[c.di], Seed: seed, Instances: instances,
+		})
+		if err != nil {
+			return RoutingSweepRow{}, fmt.Errorf("routing %v on %s: %w", pols[c.pi], ds.Name, err)
+		}
+		return RoutingSweepRow{
+			Policy:        res.Policy,
+			Dataset:       res.Dataset,
+			QPS:           res.QPS,
+			MeanJCT:       res.Latency.Mean,
+			P99JCT:        res.Latency.P99,
+			ThroughputRPS: res.ThroughputRPS,
+			CacheHitRate:  res.CacheHitRate,
+			BalanceRatio:  res.BalanceRatio,
+			Completed:     res.Completed,
+			Rejected:      res.Rejected,
+		}, nil
+	})
+	return rows, satStats.Merge(runStats), err
 }

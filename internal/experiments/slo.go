@@ -228,11 +228,21 @@ type SLOSweepRow struct {
 // class-aware configuration on an identical fixed fleet (equal
 // GPU-seconds up to makespan drift) and reports both rows: class-aware
 // must buy a strictly better interactive p99, paying with batch sheds
-// that start before any interactive request is dropped.
+// that start before any interactive request is dropped. Serial
+// convenience wrapper around SLOSweepParallel.
 func SLOSweep(seed int64, small bool) ([]SLOSweepRow, error) {
+	rows, _, err := SLOSweepParallel(seed, small, 1)
+	return rows, err
+}
+
+// SLOSweepParallel is SLOSweep fanned across the cell executor: one
+// saturation cell, then the class-blind and class-aware runs as
+// independent cells, each on its own freshly generated dataset. Rows are
+// byte-identical at any parallelism.
+func SLOSweepParallel(seed int64, small bool, parallel int) ([]SLOSweepRow, CellStats, error) {
 	sc, err := ScenarioByName("L4")
 	if err != nil {
-		return nil, err
+		return nil, CellStats{}, err
 	}
 	// Sizing: the fleet and interactive bound follow the autoscale sweep's
 	// rules; the batch budget reserves the headroom between it and the
@@ -265,11 +275,13 @@ func SLOSweep(seed int64, small bool) ([]SLOSweepRow, error) {
 	// burst front must be absorbed by admission control — the regime where
 	// who gets shed is the whole game.
 	satDS := mkDataset()
-	x, err := SaturationQPS(PrefillOnly, sc, satDS)
+	sat, satStats, err := runCells(1, 1, func(int) (float64, error) {
+		return SaturationQPS(PrefillOnly, sc, satDS)
+	})
 	if err != nil {
-		return nil, fmt.Errorf("slo saturation: %w", err)
+		return nil, satStats, fmt.Errorf("slo saturation: %w", err)
 	}
-	perInst := x / 2
+	perInst := sat[0] / 2
 	base := 0.6 * perInst * float64(instances)
 	peak := 2.5 * perInst * float64(instances)
 	const duty = 0.35
@@ -286,14 +298,14 @@ func SLOSweep(seed int64, small bool) ([]SLOSweepRow, error) {
 			BatchBacklogSeconds: batchBudgetFrac * bound,
 			BatchWeight:         batchWeight},
 	}
-	var rows []SLOSweepRow
-	for _, rc := range runs {
-		rc.Dataset = mkDataset() // fresh dataset per run: arrivals are restamped
+	rows, runStats, err := runCells(parallel, len(runs), func(i int) (SLOSweepRow, error) {
+		rc := runs[i]
+		rc.Dataset = mkDataset() // fresh dataset per cell: arrivals are restamped
 		res, err := SLORun(rc)
 		if err != nil {
-			return nil, fmt.Errorf("slo %s: %w", rc.Dataset.Name, err)
+			return SLOSweepRow{}, fmt.Errorf("slo %s: %w", rc.Dataset.Name, err)
 		}
-		rows = append(rows, SLOSweepRow{
+		return SLOSweepRow{
 			Mode:               res.Mode,
 			Dataset:            res.Dataset,
 			InteractiveMeanJCT: res.Interactive.Mean,
@@ -306,7 +318,7 @@ func SLOSweep(seed int64, small bool) ([]SLOSweepRow, error) {
 			BatchGoodputTPS:    res.BatchGoodputTPS,
 			GPUSeconds:         res.GPUSeconds,
 			Completed:          res.Completed,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
+	return rows, satStats.Merge(runStats), err
 }

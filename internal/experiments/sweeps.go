@@ -28,38 +28,70 @@ type QPSLatencyPanel struct {
 
 // QPSLatency regenerates one Figure-6/7 panel: it measures PrefillOnly's
 // saturation throughput x, then sweeps every engine over x·multipliers.
-// Engines may be restricted (nil = all five).
+// Engines may be restricted (nil = all five). Serial convenience wrapper
+// around QPSLatencyParallel.
 func QPSLatency(sc Scenario, kind DatasetKind, engines []EngineKind, seed int64) (*QPSLatencyPanel, error) {
+	panel, _, err := QPSLatencyParallel(sc, kind, engines, seed, 1)
+	return panel, err
+}
+
+// QPSLatencyParallel is QPSLatency fanned across the cell executor.
+func QPSLatencyParallel(sc Scenario, kind DatasetKind, engines []EngineKind, seed int64, parallel int) (*QPSLatencyPanel, CellStats, error) {
+	return QPSLatencyOn(sc, kind.String(), kind.Generate(seed), engines, seed, parallel)
+}
+
+// QPSLatencyOn sweeps the engines × QPSGridMultipliers grid over an
+// explicit base dataset (cmd/prefillbench uses it for scaled-down smoke
+// panels). The base is treated as immutable: the saturation run and every
+// grid cell execute against their own clone. Cells use the full-size
+// panel's per-multiplier seeding (seed + mult*100) — the scaled-down
+// smoke panel previously seeded every cell with the bare seed, so its
+// numbers shifted once when it was unified onto this path.
+func QPSLatencyOn(sc Scenario, label string, base *workload.Dataset, engines []EngineKind, seed int64, parallel int) (*QPSLatencyPanel, CellStats, error) {
 	if engines == nil {
 		engines = AllEngines()
 	}
-	ds := kind.Generate(seed)
-	x, err := SaturationQPS(PrefillOnly, sc, ds)
+	sat, satStats, err := runCells(1, 1, func(int) (float64, error) {
+		return SaturationQPS(PrefillOnly, sc, base.Clone())
+	})
 	if err != nil {
-		return nil, fmt.Errorf("saturation on %s/%s: %w", sc.Name, kind, err)
+		return nil, satStats, fmt.Errorf("saturation on %s/%s: %w", sc.Name, label, err)
 	}
-	panel := &QPSLatencyPanel{Scenario: sc.Name, Dataset: kind.String(), SaturationQPS: x}
+	x := sat[0]
+	type cell struct {
+		eng  EngineKind
+		mult float64
+	}
+	var cells []cell
 	for _, eng := range engines {
 		for _, mult := range QPSGridMultipliers {
-			qps := x * mult
-			res, err := Run(RunConfig{
-				Kind: eng, Scenario: sc, Dataset: ds, QPS: qps, Seed: seed + int64(mult*100),
-			})
-			if err != nil {
-				return nil, fmt.Errorf("%v at %.3f qps on %s/%s: %w", eng, qps, sc.Name, kind, err)
-			}
-			panel.Points = append(panel.Points, QPSLatencyPoint{
-				Engine:         eng,
-				QPS:            qps,
-				MeanLatency:    res.Latency.Mean,
-				P99Latency:     res.Latency.P99,
-				ThroughputRPS:  res.ThroughputRPS,
-				CacheHitRate:   res.CacheHitRate,
-				InfeasibleFrac: res.InfeasibleFrac,
-			})
+			cells = append(cells, cell{eng, mult})
 		}
 	}
-	return panel, nil
+	points, runStats, err := runCells(parallel, len(cells), func(i int) (QPSLatencyPoint, error) {
+		c := cells[i]
+		qps := x * c.mult
+		res, err := Run(RunConfig{
+			Kind: c.eng, Scenario: sc, Dataset: base.Clone(), QPS: qps, Seed: seed + int64(c.mult*100),
+		})
+		if err != nil {
+			return QPSLatencyPoint{}, fmt.Errorf("%v at %.3f qps on %s/%s: %w", c.eng, qps, sc.Name, label, err)
+		}
+		return QPSLatencyPoint{
+			Engine:         c.eng,
+			QPS:            qps,
+			MeanLatency:    res.Latency.Mean,
+			P99Latency:     res.Latency.P99,
+			ThroughputRPS:  res.ThroughputRPS,
+			CacheHitRate:   res.CacheHitRate,
+			InfeasibleFrac: res.InfeasibleFrac,
+		}, nil
+	})
+	if err != nil {
+		return nil, satStats.Merge(runStats), err
+	}
+	panel := &QPSLatencyPanel{Scenario: sc.Name, Dataset: label, SaturationQPS: x, Points: points}
+	return panel, satStats.Merge(runStats), nil
 }
 
 // Figure8Row is one bar of Figure 8: saturation throughput of an engine on
@@ -70,24 +102,40 @@ type Figure8Row struct {
 	ThroughputRPS float64
 }
 
-// Figure8 regenerates the NVLink throughput comparison.
+// Figure8 regenerates the NVLink throughput comparison. Serial
+// convenience wrapper around Figure8Parallel.
 func Figure8(seed int64) ([]Figure8Row, error) {
-	ds := CreditVerification.Generate(seed)
-	var out []Figure8Row
+	rows, _, err := Figure8Parallel(seed, 1)
+	return rows, err
+}
+
+// Figure8Parallel is Figure8 fanned across the cell executor: each
+// (scenario, engine) saturation measurement is one cell on its own
+// dataset clone.
+func Figure8Parallel(seed int64, parallel int) ([]Figure8Row, CellStats, error) {
+	base := CreditVerification.Generate(seed)
+	type cell struct {
+		scName string
+		eng    EngineKind
+	}
+	var cells []cell
 	for _, scName := range []string{"H100", "H100-NVLink"} {
-		sc, err := ScenarioByName(scName)
-		if err != nil {
-			return nil, err
-		}
 		for _, eng := range []EngineKind{PrefillOnly, PipelineParallel, TensorParallel} {
-			tput, err := SaturationQPS(eng, sc, ds)
-			if err != nil {
-				return nil, fmt.Errorf("figure8 %v on %s: %w", eng, scName, err)
-			}
-			out = append(out, Figure8Row{Engine: eng, NVLink: scName == "H100-NVLink", ThroughputRPS: tput})
+			cells = append(cells, cell{scName, eng})
 		}
 	}
-	return out, nil
+	return runCells(parallel, len(cells), func(i int) (Figure8Row, error) {
+		c := cells[i]
+		sc, err := ScenarioByName(c.scName)
+		if err != nil {
+			return Figure8Row{}, err
+		}
+		tput, err := SaturationQPS(c.eng, sc, base.Clone())
+		if err != nil {
+			return Figure8Row{}, fmt.Errorf("figure8 %v on %s: %w", c.eng, c.scName, err)
+		}
+		return Figure8Row{Engine: c.eng, NVLink: c.scName == "H100-NVLink", ThroughputRPS: tput}, nil
+	})
 }
 
 // Figure9Point is one point of the throughput-vs-QPS curves of Figure 9.
@@ -100,34 +148,51 @@ type Figure9Point struct {
 
 // Figure9 regenerates the prefix-cache-throttling study: post
 // recommendation on 2×H100 (no NVLink), throughput as offered QPS grows,
-// for PrefillOnly, chunked prefill, PP and TP.
+// for PrefillOnly, chunked prefill, PP and TP. Serial convenience wrapper
+// around Figure9Parallel.
 func Figure9(seed int64) ([]Figure9Point, error) {
+	rows, _, err := Figure9Parallel(seed, 1)
+	return rows, err
+}
+
+// Figure9Parallel is Figure9 fanned across the cell executor.
+func Figure9Parallel(seed int64, parallel int) ([]Figure9Point, CellStats, error) {
 	sc, err := ScenarioByName("H100")
 	if err != nil {
-		return nil, err
+		return nil, CellStats{}, err
 	}
-	ds := PostRecommendation.Generate(seed)
-	x, err := SaturationQPS(PrefillOnly, sc, ds)
+	base := PostRecommendation.Generate(seed)
+	sat, satStats, err := runCells(1, 1, func(int) (float64, error) {
+		return SaturationQPS(PrefillOnly, sc, base.Clone())
+	})
 	if err != nil {
-		return nil, err
+		return nil, satStats, err
 	}
-	engines := []EngineKind{PrefillOnly, ChunkedPrefill, PipelineParallel, TensorParallel}
-	var out []Figure9Point
-	for _, eng := range engines {
+	x := sat[0]
+	type cell struct {
+		eng  EngineKind
+		mult float64
+	}
+	var cells []cell
+	for _, eng := range []EngineKind{PrefillOnly, ChunkedPrefill, PipelineParallel, TensorParallel} {
 		for _, mult := range []float64{0.25, 0.5, 1, 1.5, 2, 3, 4} {
-			qps := x * mult
-			res, err := Run(RunConfig{Kind: eng, Scenario: sc, Dataset: ds, QPS: qps, Seed: seed})
-			if err != nil {
-				return nil, fmt.Errorf("figure9 %v at %.2f: %w", eng, qps, err)
-			}
-			out = append(out, Figure9Point{
-				Engine: eng, QPS: qps,
-				ThroughputRPS: res.ThroughputRPS,
-				CacheHitRate:  res.CacheHitRate,
-			})
+			cells = append(cells, cell{eng, mult})
 		}
 	}
-	return out, nil
+	out, runStats, err := runCells(parallel, len(cells), func(i int) (Figure9Point, error) {
+		c := cells[i]
+		qps := x * c.mult
+		res, err := Run(RunConfig{Kind: c.eng, Scenario: sc, Dataset: base.Clone(), QPS: qps, Seed: seed})
+		if err != nil {
+			return Figure9Point{}, fmt.Errorf("figure9 %v at %.2f: %w", c.eng, qps, err)
+		}
+		return Figure9Point{
+			Engine: c.eng, QPS: qps,
+			ThroughputRPS: res.ThroughputRPS,
+			CacheHitRate:  res.CacheHitRate,
+		}, nil
+	})
+	return out, satStats.Merge(runStats), err
 }
 
 // Figure11Curve is one CDF of Figure 11 (a fairness-parameter setting).
@@ -141,36 +206,46 @@ type Figure11Curve struct {
 // Figure11 regenerates the λ sensitivity study: latency CDFs of
 // PrefillOnly under λ ∈ {0, 200, 2000} on post recommendation at the
 // saturation rate (enough queueing for SRJF starvation to appear, not so
-// much that every policy thrashes).
+// much that every policy thrashes). Serial convenience wrapper around
+// Figure11Parallel.
 func Figure11(seed int64) ([]Figure11Curve, error) {
+	rows, _, err := Figure11Parallel(seed, 1)
+	return rows, err
+}
+
+// Figure11Parallel is Figure11 fanned across the cell executor.
+func Figure11Parallel(seed int64, parallel int) ([]Figure11Curve, CellStats, error) {
 	sc, err := ScenarioByName("L4")
 	if err != nil {
-		return nil, err
+		return nil, CellStats{}, err
 	}
-	ds := PostRecommendation.Generate(seed)
-	x, err := SaturationQPS(PrefillOnly, sc, ds)
+	base := PostRecommendation.Generate(seed)
+	sat, satStats, err := runCells(1, 1, func(int) (float64, error) {
+		return SaturationQPS(PrefillOnly, sc, base.Clone())
+	})
 	if err != nil {
-		return nil, err
+		return nil, satStats, err
 	}
-	qps := x
-	var out []Figure11Curve
-	for _, lambda := range []float64{-1, 200, 2000} { // -1 encodes literal 0
-		res, err := Run(RunConfig{Kind: PrefillOnly, Scenario: sc, Dataset: ds, QPS: qps, Seed: seed, Lambda: lambda})
+	qps := sat[0]
+	lambdas := []float64{-1, 200, 2000} // -1 encodes literal 0
+	out, runStats, err := runCells(parallel, len(lambdas), func(i int) (Figure11Curve, error) {
+		lambda := lambdas[i]
+		res, err := Run(RunConfig{Kind: PrefillOnly, Scenario: sc, Dataset: base.Clone(), QPS: qps, Seed: seed, Lambda: lambda})
 		if err != nil {
-			return nil, fmt.Errorf("figure11 λ=%v: %w", lambda, err)
+			return Figure11Curve{}, fmt.Errorf("figure11 λ=%v: %w", lambda, err)
 		}
 		shown := lambda
 		if lambda < 0 {
 			shown = 0
 		}
-		out = append(out, Figure11Curve{
+		return Figure11Curve{
 			Lambda:      shown,
 			MeanLatency: res.Latency.Mean,
 			P99Latency:  res.Latency.P99,
 			CDF:         metrics.CDF(res.Latencies, 200),
-		})
-	}
-	return out, nil
+		}, nil
+	})
+	return out, satStats.Merge(runStats), err
 }
 
 // SmallDataset scales a dataset kind down for fast runs (tests and smoke

@@ -92,30 +92,46 @@ func milFor(kind EngineKind, sc Scenario) (int, error) {
 }
 
 // Table2 regenerates the maximum-input-length table over the three GPU
-// types (the paper's Table 2 collapses the two H100 variants).
+// types (the paper's Table 2 collapses the two H100 variants). Serial
+// convenience wrapper around Table2Parallel.
 func Table2() ([]Table2Row, error) {
+	rows, _, err := Table2Parallel(1)
+	return rows, err
+}
+
+// Table2Parallel is Table2 fanned across the cell executor: each
+// engine×GPU MIL binary search is a pure, independent cell.
+func Table2Parallel(parallel int) ([]Table2Row, CellStats, error) {
 	scenarios := []string{"L4", "A100", "H100"}
-	var out []Table2Row
-	for _, kind := range []EngineKind{PagedAttention, ChunkedPrefill, PipelineParallel, TensorParallel, PrefillOnly} {
+	engines := []EngineKind{PagedAttention, ChunkedPrefill, PipelineParallel, TensorParallel, PrefillOnly}
+	type cell struct {
+		kind   EngineKind
+		scName string
+	}
+	var cells []cell
+	for _, kind := range engines {
 		for _, name := range scenarios {
-			sc, err := ScenarioByName(name)
-			if err != nil {
-				return nil, err
-			}
-			mil, err := milFor(kind, sc)
-			if err != nil {
-				return nil, fmt.Errorf("table2 %v/%s: %w", kind, name, err)
-			}
-			out = append(out, Table2Row{
-				Engine:   kind,
-				Scenario: name,
-				MIL:      mil,
-				WL1OK:    mil >= wl1MaxLen,
-				WL2OK:    mil >= wl2MaxLen,
-			})
+			cells = append(cells, cell{kind, name})
 		}
 	}
-	return out, nil
+	return runCells(parallel, len(cells), func(i int) (Table2Row, error) {
+		c := cells[i]
+		sc, err := ScenarioByName(c.scName)
+		if err != nil {
+			return Table2Row{}, err
+		}
+		mil, err := milFor(c.kind, sc)
+		if err != nil {
+			return Table2Row{}, fmt.Errorf("table2 %v/%s: %w", c.kind, c.scName, err)
+		}
+		return Table2Row{
+			Engine:   c.kind,
+			Scenario: c.scName,
+			MIL:      mil,
+			WL1OK:    mil >= wl1MaxLen,
+			WL2OK:    mil >= wl2MaxLen,
+		}, nil
+	})
 }
 
 // Table3Row is one hardware/model pairing (paper Table 3).

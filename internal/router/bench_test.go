@@ -1,0 +1,61 @@
+package router
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// benchView is a fixed-state View: the benchmark isolates the policy's own
+// decision cost (score arithmetic, candidate scan) from cache walks, whose
+// cost belongs to the kvcache benchmarks.
+type benchView struct {
+	loads []Load
+	hits  []int
+}
+
+func (v *benchView) Instances() int  { return len(v.loads) }
+func (v *benchView) Load(i int) Load { return v.loads[i] }
+func (v *benchView) HitTokens(i int, r *sched.Request) int {
+	return v.hits[i]
+}
+func (v *benchView) EstSeconds(i int, r *sched.Request, hit int) float64 {
+	return float64(r.Len()-hit) * 1e-6
+}
+
+// BenchmarkRouterPick measures the per-request decision cost of each
+// routing policy on an 8-instance view. The routing decision sits on every
+// submit of every routed experiment, so it must stay allocation-free
+// (-benchmem pins 0 allocs/op for all three policies).
+func BenchmarkRouterPick(b *testing.B) {
+	const instances = 8
+	v := &benchView{
+		loads: make([]Load, instances),
+		hits:  make([]int, instances),
+	}
+	for i := range v.loads {
+		v.loads[i] = Load{
+			QueuedRequests: i,
+			QueuedTokens:   int64(i) * 4096,
+			BacklogSeconds: float64(i) * 0.25,
+		}
+		// One warm instance: the affinity scan has a real candidate to
+		// weigh against the least-loaded alternative.
+		if i == 3 {
+			v.hits[i] = 3000
+		}
+	}
+	r := &sched.Request{ID: 1, UserID: 42, Tokens: make([]uint64, 3200)}
+	for _, pol := range []Policy{UserHash{}, LeastLoaded{}, AffinityLoad{}} {
+		b.Run(pol.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			sink := 0
+			for i := 0; i < b.N; i++ {
+				sink += pol.Pick(r, v)
+			}
+			if sink < 0 {
+				b.Fatal("impossible")
+			}
+		})
+	}
+}

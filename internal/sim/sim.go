@@ -3,77 +3,165 @@
 // arrivals) built on math/rand with explicit seeds.
 //
 // All engine and workload behaviour in this repository executes against
-// this kernel, so every experiment is exactly reproducible.
+// this kernel, so every experiment is exactly reproducible — and every
+// experiment's wall-clock cost is dominated by this kernel's hot loop.
+// The event heap is therefore a value-based binary heap over an []event
+// slice: scheduling an event appends into the backing array instead of
+// heap-allocating a *event, and popping swaps values in place, so
+// steady-state scheduling through the AtFunc/AfterFunc fast path performs
+// zero heap allocations per event (pinned by TestSteadyStateSchedulingZeroAlloc).
+// The backing array is bounded by the peak pending depth and shrinks when
+// the queue drains, following the internal/ringbuf discipline.
 package sim
 
 import (
-	"container/heap"
 	"math"
 	"math/rand"
 )
 
-// Event is a scheduled callback.
+// Func is the fast-path event callback: a plain function pointer plus an
+// opaque payload. Schedulers on the hot path pass a package-level function
+// and a pointer payload so that neither the callback nor the argument
+// allocates; the closure-based At/After entry points route through the
+// same representation via a trampoline.
+type Func func(arg any)
+
+// event is one scheduled callback, stored by value in the heap slice.
 type event struct {
 	time float64
 	seq  uint64 // FIFO tie-break for simultaneous events
-	fn   func()
+	fn   Func
+	arg  any
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
+// minEventCap is the smallest backing array kept once the heap has
+// allocated (same floor as internal/ringbuf).
+const minEventCap = 8
 
 // Sim is a discrete-event simulator. The zero value is ready to use.
+// Sim is not goroutine-safe: each simulation owns one Sim, and parallel
+// experiment cells each run their own.
 type Sim struct {
 	now    float64
 	seq    uint64
-	events eventHeap
+	events []event // min-heap ordered by (time, seq)
 }
 
 // Now returns the current simulated time in seconds.
 func (s *Sim) Now() float64 { return s.now }
 
-// At schedules fn to run at absolute time t. Scheduling in the past (t <
-// now) panics: it indicates a causality bug in the caller.
-func (s *Sim) At(t float64, fn func()) {
+// less orders the heap by (time, seq): earliest first, FIFO on ties.
+func (s *Sim) less(i, j int) bool {
+	a, b := &s.events[i], &s.events[j]
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+// push appends an event and restores the heap invariant. Within the
+// backing array's capacity this performs no allocation.
+func (s *Sim) push(e event) {
+	s.events = append(s.events, e)
+	i := len(s.events) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s.events[i], s.events[parent] = s.events[parent], s.events[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event. The vacated tail slot is
+// zeroed so the callback and payload do not linger reachable through the
+// backing array, and the array halves once the pending depth drains below
+// a quarter of it (ringbuf discipline: capacity tracks peak depth, not
+// history).
+func (s *Sim) pop() event {
+	e := s.events[0]
+	n := len(s.events) - 1
+	s.events[0] = s.events[n]
+	s.events[n] = event{}
+	s.events = s.events[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s.less(r, l) {
+			m = r
+		}
+		if !s.less(m, i) {
+			break
+		}
+		s.events[i], s.events[m] = s.events[m], s.events[i]
+		i = m
+	}
+	if c := cap(s.events); c > minEventCap && n <= c/4 {
+		half := c / 2
+		if half < minEventCap {
+			half = minEventCap
+		}
+		next := make([]event, n, half)
+		copy(next, s.events)
+		s.events = next
+	}
+	return e
+}
+
+// AtFunc schedules fn(arg) at absolute time t — the zero-alloc fast path:
+// fn should be a package-level function (not a per-call closure) and arg a
+// reusable pointer, so steady-state scheduling costs no heap allocations.
+// Scheduling in the past (t < now) panics: it indicates a causality bug in
+// the caller.
+func (s *Sim) AtFunc(t float64, fn Func, arg any) {
 	if t < s.now {
 		panic("sim: event scheduled in the past")
 	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
 	s.seq++
-	heap.Push(&s.events, &event{time: t, seq: s.seq, fn: fn})
+	s.push(event{time: t, seq: s.seq, fn: fn, arg: arg})
+}
+
+// AfterFunc schedules fn(arg) d seconds from now (fast path).
+func (s *Sim) AfterFunc(d float64, fn Func, arg any) {
+	s.AtFunc(s.now+d, fn, arg)
+}
+
+// runClosure is the trampoline that adapts the closure entry points onto
+// the fast path: the closure itself rides in the event's payload slot.
+func runClosure(arg any) { arg.(func())() }
+
+// At schedules fn to run at absolute time t. The closure is the payload
+// (func values are pointer-shaped, so boxing it allocates nothing beyond
+// the closure the caller already built). Scheduling in the past panics.
+func (s *Sim) At(t float64, fn func()) {
+	s.AtFunc(t, runClosure, fn)
 }
 
 // After schedules fn to run d seconds from now.
 func (s *Sim) After(d float64, fn func()) {
-	s.At(s.now+d, fn)
+	s.AtFunc(s.now+d, runClosure, fn)
 }
 
 // Pending returns the number of queued events.
 func (s *Sim) Pending() int { return len(s.events) }
 
 // Run executes events in time order until the queue drains, and returns
-// the final simulated time.
+// the final simulated time. Draining shrinks the heap's backing array back
+// toward minEventCap, so a Sim that served a deep burst does not pin its
+// peak-depth array afterwards.
 func (s *Sim) Run() float64 {
 	for len(s.events) > 0 {
-		e := heap.Pop(&s.events).(*event)
+		e := s.pop()
 		s.now = e.time
-		e.fn()
+		e.fn(e.arg)
 	}
 	return s.now
 }
@@ -82,9 +170,9 @@ func (s *Sim) Run() float64 {
 // queued, and advances the clock to min(deadline, last event time).
 func (s *Sim) RunUntil(deadline float64) {
 	for len(s.events) > 0 && s.events[0].time <= deadline {
-		e := heap.Pop(&s.events).(*event)
+		e := s.pop()
 		s.now = e.time
-		e.fn()
+		e.fn(e.arg)
 	}
 	if s.now < deadline {
 		s.now = deadline

@@ -140,3 +140,186 @@ func TestPoissonRejectsBadRate(t *testing.T) {
 	}()
 	NewPoisson(0, 1)
 }
+
+// --- fast path (AtFunc/AfterFunc) semantics ---
+
+// counter is a fast-path payload; bump is its package-level callback.
+type counter struct{ fired int }
+
+func bump(arg any) { arg.(*counter).fired++ }
+
+func TestFastPathInterleavesWithClosures(t *testing.T) {
+	var s Sim
+	var order []string
+	c := &counter{}
+	s.At(2, func() { order = append(order, "closure@2") })
+	s.AtFunc(1, func(arg any) { order = append(order, "fast@1"); bump(arg) }, c)
+	s.AfterFunc(3, func(arg any) { order = append(order, "fast@3"); bump(arg) }, c)
+	s.Run()
+	if c.fired != 2 {
+		t.Fatalf("fired = %d, want 2", c.fired)
+	}
+	want := []string{"fast@1", "closure@2", "fast@3"}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestFastPathTieBreaksFIFOWithClosures(t *testing.T) {
+	var s Sim
+	var got []int
+	for i := 0; i < 6; i++ {
+		i := i
+		if i%2 == 0 {
+			s.AtFunc(1.0, func(any) { got = append(got, i) }, nil)
+		} else {
+			s.At(1.0, func() { got = append(got, i) })
+		}
+	}
+	s.Run()
+	if len(got) != 6 {
+		t.Fatalf("fired %d of 6 events: %v", len(got), got)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("mixed-path tie-break not FIFO: %v", got)
+		}
+	}
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	var s Sim
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil callback accepted")
+		}
+	}()
+	s.AtFunc(1, nil, nil)
+}
+
+// --- backing-array retention (ringbuf discipline) ---
+
+// The heap's backing array must shrink back toward minEventCap after a
+// deep burst drains: retaining the peak-depth array would pin memory
+// proportional to the largest burst ever queued, the same defect class as
+// the `q = q[1:]` retention family.
+func TestHeapShrinksAfterDrain(t *testing.T) {
+	var s Sim
+	c := &counter{}
+	const depth = 4096
+	for i := 0; i < depth; i++ {
+		s.AtFunc(float64(i), bump, c)
+	}
+	if peak := cap(s.events); peak < depth {
+		t.Fatalf("cap %d below pending depth %d", peak, depth)
+	}
+	s.Run()
+	if c.fired != depth {
+		t.Fatalf("fired %d of %d", c.fired, depth)
+	}
+	if cap(s.events) > 2*minEventCap {
+		t.Fatalf("backing array holds %d slots after drain, want <= %d",
+			cap(s.events), 2*minEventCap)
+	}
+}
+
+// Sustained schedule-one/run-one churn must keep the backing array at the
+// floor: capacity tracks live depth, not event history.
+func TestHeapBoundedUnderSustainedChurn(t *testing.T) {
+	var s Sim
+	c := &counter{}
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		s.AtFunc(float64(i), bump, c)
+		s.RunUntil(float64(i))
+	}
+	if c.fired != n {
+		t.Fatalf("fired %d of %d", c.fired, n)
+	}
+	if cap(s.events) > 2*minEventCap {
+		t.Fatalf("backing array holds %d slots after %d churned events", cap(s.events), n)
+	}
+	// Vacated slots must be zeroed so fired callbacks and payloads are
+	// collectable.
+	for i := len(s.events); i < cap(s.events); i++ {
+		if e := s.events[:cap(s.events)][i]; e.fn != nil || e.arg != nil {
+			t.Fatalf("drained heap retains callback/payload at slot %d", i)
+		}
+	}
+}
+
+// --- allocation regression ---
+
+// chain is a self-rescheduling fast-path payload: every firing schedules
+// its successor, holding the pending depth constant — the kernel's steady
+// state under a serving load.
+type chain struct {
+	s    *Sim
+	step float64
+}
+
+func chainStep(arg any) {
+	c := arg.(*chain)
+	c.s.AfterFunc(c.step, chainStep, c)
+}
+
+// Steady-state scheduling through the fast path must not allocate: the
+// event heap is value-based and its capacity is already at depth, so an
+// event costs one slice store and sift, nothing on the heap. This is the
+// ISSUE-5 acceptance pin.
+func TestSteadyStateSchedulingZeroAlloc(t *testing.T) {
+	var s Sim
+	const depth = 32
+	for i := 0; i < depth; i++ {
+		c := &chain{s: &s, step: 1}
+		s.AtFunc(float64(i)/depth, chainStep, c)
+	}
+	// Warm one window so the backing array reaches its steady capacity.
+	deadline := 1.0
+	s.RunUntil(deadline)
+	allocs := testing.AllocsPerRun(100, func() {
+		deadline++
+		s.RunUntil(deadline) // fires depth events, schedules depth more
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state scheduling allocated %.1f times per %d events, want 0", allocs, depth)
+	}
+}
+
+// BenchmarkSimKernel measures raw kernel event throughput at a constant
+// pending depth: the fast path (package-level callback + payload pointer)
+// against the closure path (a fresh capturing closure per event, the
+// pre-ISSUE-5 idiom). -benchmem shows the fast path at 0 allocs/op.
+func BenchmarkSimKernel(b *testing.B) {
+	const depth = 64
+	b.Run("fastpath", func(b *testing.B) {
+		var s Sim
+		for i := 0; i < depth; i++ {
+			s.AtFunc(float64(i)/depth, chainStep, &chain{s: &s, step: 1})
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		deadline := 0.0
+		for i := 0; i < b.N; i += depth {
+			deadline++
+			s.RunUntil(deadline)
+		}
+	})
+	b.Run("closure", func(b *testing.B) {
+		var s Sim
+		var reschedule func()
+		reschedule = func() { s.After(1, func() { reschedule() }) }
+		for i := 0; i < depth; i++ {
+			s.At(float64(i)/depth, reschedule)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		deadline := 0.0
+		for i := 0; i < b.N; i += depth {
+			deadline++
+			s.RunUntil(deadline)
+		}
+	})
+}

@@ -40,6 +40,22 @@ type Dataset struct {
 	MaxLen int
 }
 
+// Clone returns a copy of the dataset whose request structs are fresh but
+// whose token storage (and allowed-token lists) is shared with the
+// original. Tokens are immutable once generated, but runs mutate the
+// wrapping Request — arrival stamps, memoized block-hash chains — so
+// concurrent sweep cells must each run against their own clone; sharing
+// the multi-megabyte token arrays keeps that cheap.
+func (d *Dataset) Clone() *Dataset {
+	c := *d
+	c.Requests = make([]*sched.Request, len(d.Requests))
+	for i, r := range d.Requests {
+		rc := *r
+		c.Requests[i] = &rc
+	}
+	return &c
+}
+
 // TotalTokens sums the input lengths of all requests.
 func (d *Dataset) TotalTokens() int64 {
 	var n int64

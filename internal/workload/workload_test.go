@@ -175,3 +175,31 @@ func TestCustomConfigRespected(t *testing.T) {
 		}
 	}
 }
+
+func TestCloneIsolatesRequestMutation(t *testing.T) {
+	base := PostRecommendation(PostRecommendationConfig{Users: 3, PostsPerUser: 2, Seed: 1})
+	c1, c2 := base.Clone(), base.Clone()
+	if len(c1.Requests) != len(base.Requests) {
+		t.Fatalf("clone has %d requests, base %d", len(c1.Requests), len(base.Requests))
+	}
+	for i, r := range c1.Requests {
+		if r == base.Requests[i] {
+			t.Fatalf("clone shares request struct %d with base", i)
+		}
+		// Token storage is shared (immutable), not copied.
+		if len(r.Tokens) > 0 && &r.Tokens[0] != &base.Requests[i].Tokens[0] {
+			t.Fatalf("clone copied token storage of request %d", i)
+		}
+	}
+	// Mutating a clone (what a run does) must not leak into base or
+	// sibling clones.
+	c1.Requests[0].ArrivalTime = 42
+	c1.Requests[0].BlockHashes = []uint64{1, 2, 3}
+	c1.Requests[0].HashBlockTokens = 16
+	if base.Requests[0].ArrivalTime == 42 || base.Requests[0].BlockHashes != nil {
+		t.Fatal("clone mutation leaked into base")
+	}
+	if c2.Requests[0].ArrivalTime == 42 || c2.Requests[0].BlockHashes != nil {
+		t.Fatal("clone mutation leaked into sibling clone")
+	}
+}
