@@ -5,7 +5,7 @@
 //
 //	prefillbench -exp table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|sec2.3|sec6.3|routing|autoscale|slo|kernel|all
 //	             [-scenario L4|A100|H100|H100-NVLink] [-dataset post|credit]
-//	             [-seed N] [-small] [-parallel N] [-json FILE]
+//	             [-seed N] [-small] [-parallel N] [-json FILE] [-trace FILE]
 //
 // fig6/fig7 honour -scenario and -dataset to render a single panel
 // (the full grid is expensive); "all" runs everything cheap plus one panel.
@@ -15,6 +15,11 @@
 // executor). Cell results are aggregated in index order and every cell is
 // self-contained, so output rows are byte-identical at any parallelism —
 // only the wall clock changes.
+//
+// routing additionally honours -trace FILE: after the sweep it executes one
+// dedicated instrumented run with the flight recorder attached and writes
+// the resulting Chrome trace-event JSON, loadable in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing.
 //
 // routing, autoscale, slo and kernel honour -json to additionally write
 // their results as JSON (-exp all rejects -json: it would be ambiguous
@@ -46,11 +51,13 @@ func main() {
 	parallel := flag.Int("parallel", experiments.DefaultParallel(),
 		"sweep cell parallelism (1 = serial executor; output rows are identical either way)")
 	jsonPath := flag.String("json", "", "also write the experiment's results as JSON (routing, autoscale, slo, kernel)")
+	tracePath := flag.String("trace", "",
+		"write a Perfetto-loadable Chrome trace of one instrumented routing run (routing only)")
 	compare := flag.Bool("compare-serial", false,
 		"run the sweep twice (serial then -parallel) and record the measured wall-clock speedup; fails unless rows are byte-identical (routing, autoscale, slo)")
 	flag.Parse()
 
-	if err := run(*exp, *scenario, *dataset, *seed, *small, *parallel, *jsonPath, *compare); err != nil {
+	if err := run(*exp, *scenario, *dataset, *seed, *small, *parallel, *jsonPath, *tracePath, *compare); err != nil {
 		fmt.Fprintln(os.Stderr, "prefillbench:", err)
 		os.Exit(1)
 	}
@@ -64,9 +71,12 @@ var (
 	compareExps = map[string]bool{"routing": true, "autoscale": true, "slo": true, "all": true}
 )
 
-func run(exp, scenario, dataset string, seed int64, small bool, parallel int, jsonPath string, compare bool) error {
+func run(exp, scenario, dataset string, seed int64, small bool, parallel int, jsonPath, tracePath string, compare bool) error {
 	if jsonPath != "" && !jsonExps[exp] {
 		return fmt.Errorf("-json is not supported by -exp %s (use routing, autoscale, slo or kernel)", exp)
+	}
+	if tracePath != "" && exp != "routing" {
+		return fmt.Errorf("-trace is not supported by -exp %s (use routing)", exp)
 	}
 	if compare && !compareExps[exp] {
 		return fmt.Errorf("-compare-serial is not supported by -exp %s (use routing, autoscale or slo)", exp)
@@ -99,7 +109,7 @@ func run(exp, scenario, dataset string, seed int64, small bool, parallel int, js
 	case "sec6.3":
 		return sec63()
 	case "routing":
-		return routing(seed, small, parallel, jsonPath, compare)
+		return routing(seed, small, parallel, jsonPath, tracePath, compare)
 	case "autoscale":
 		return autoscaleExp(seed, small, parallel, jsonPath, compare)
 	case "slo":
@@ -108,11 +118,11 @@ func run(exp, scenario, dataset string, seed int64, small bool, parallel int, js
 		return kernelExp(small, jsonPath)
 	case "all":
 		for _, e := range []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig10", "sec2.3", "sec6.3"} {
-			if err := run(e, scenario, dataset, seed, small, parallel, "", false); err != nil {
+			if err := run(e, scenario, dataset, seed, small, parallel, "", "", false); err != nil {
 				return err
 			}
 		}
-		if err := routing(seed, true, parallel, "", compare); err != nil {
+		if err := routing(seed, true, parallel, "", "", compare); err != nil {
 			return err
 		}
 		if err := autoscaleExp(seed, true, parallel, "", compare); err != nil {
@@ -404,7 +414,7 @@ func fig11(seed int64, parallel int) error {
 	return nil
 }
 
-func routing(seed int64, small bool, parallel int, jsonPath string, compare bool) error {
+func routing(seed int64, small bool, parallel int, jsonPath, tracePath string, compare bool) error {
 	rows, stats, err := experiments.RoutingSweepParallel(seed, small, parallel)
 	if err != nil {
 		return err
@@ -429,8 +439,50 @@ func routing(seed int64, small bool, parallel int, jsonPath string, compare bool
 	}
 	printExecutor(stats)
 	if jsonPath != "" {
-		return writeJSON(jsonPath, benchEnvelope{Rows: rows, Executor: stats, SerialComparison: cmp})
+		if err := writeJSON(jsonPath, benchEnvelope{Rows: rows, Executor: stats, SerialComparison: cmp}); err != nil {
+			return err
+		}
 	}
+	if tracePath != "" {
+		return writeRoutingTrace(tracePath, seed, small)
+	}
+	return nil
+}
+
+// writeRoutingTrace executes one dedicated instrumented routing run — the
+// sweep cells stay untraced so their determinism and allocation profile are
+// untouched — and exports its flight recorder as Chrome trace-event JSON.
+func writeRoutingTrace(path string, seed int64, small bool) error {
+	sc, err := experiments.ScenarioByName("L4")
+	if err != nil {
+		return err
+	}
+	const instances = 4
+	ds := experiments.RoutingDatasets(seed, small)[0] // the Zipf-skewed scenario
+	sat, err := experiments.SaturationQPS(experiments.PrefillOnly, sc, ds.Clone())
+	if err != nil {
+		return fmt.Errorf("trace saturation on %s: %w", ds.Name, err)
+	}
+	res, rec, err := experiments.TracedRoutingRun(experiments.RoutingRunConfig{
+		Policy: experiments.AffinityLoadPolicy, Scenario: sc, Dataset: ds,
+		QPS: sat * instances / 2 * 0.9, Seed: seed, Instances: instances,
+	}, 0)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s: %d spans (%d dropped) over %d requests — open in https://ui.perfetto.dev\n",
+		path, rec.Len(), rec.Dropped(), res.Completed+res.Rejected)
 	return nil
 }
 

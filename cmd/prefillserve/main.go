@@ -7,7 +7,7 @@
 //	             [-max-input-len 20000] [-lambda 500] [-speedup 1000]
 //	             [-instances 1] [-routing affinity] [-max-backlog 0]
 //	             [-batch-max-backlog 0] [-batch-weight 0]
-//	             [-autoscale] [-min-instances 1]
+//	             [-autoscale] [-min-instances 1] [-trace]
 //
 // With -autoscale, -instances is the pool ceiling: the cluster starts at
 // -min-instances engines and scales elastically from live backlog and
@@ -28,6 +28,12 @@
 //	  "max_tokens": 1, "allowed_tokens": ["Yes","No"], "user": "u1"
 //	}'
 //	curl -s localhost:8080/v1/stats
+//
+// Observability: /v1/stats (JSON cluster snapshot), /v1/metrics
+// (Prometheus text format). With -trace, the sim-time flight recorder is
+// enabled and /v1/trace serves the recent request lifecycle as Chrome
+// trace-event JSON — save it and open in https://ui.perfetto.dev or
+// chrome://tracing.
 package main
 
 import (
@@ -53,6 +59,8 @@ func main() {
 	batchWeight := flag.Float64("batch-weight", 0, "batch-class JCT weight in the calibrated scheduler (>1 deprioritizes batch; 0 = class-blind)")
 	autoscaleOn := flag.Bool("autoscale", false, "scale the pool elastically between -min-instances and -instances")
 	minInstances := flag.Int("min-instances", 1, "elastic pool floor (requires -autoscale)")
+	traceOn := flag.Bool("trace", false, "enable the sim-time flight recorder and the /v1/trace endpoint")
+	traceSpans := flag.Int("trace-spans", 0, "flight-recorder ring depth (0 = default, requires -trace)")
 	flag.Parse()
 
 	m, ok := prefillonly.Models()[*modelName]
@@ -70,6 +78,14 @@ func main() {
 		Lambda:      *lambda,
 		Speedup:     *speedup,
 		Instances:   *instances,
+	}
+	if *traceOn {
+		scfg.TraceSpans = *traceSpans
+		if scfg.TraceSpans == 0 {
+			scfg.TraceSpans = -1 // recorder default ring depth
+		}
+	} else if *traceSpans != 0 {
+		log.Fatal("-trace-spans requires -trace")
 	}
 	if *batchWeight != 0 {
 		if *batchWeight <= 1 {
@@ -117,6 +133,9 @@ func main() {
 	if *autoscaleOn {
 		fmt.Printf("prefillserve: autoscaling pool between %d and %d instances (cold start %.2fs)\n",
 			*minInstances, *instances, prefillonly.ColdStartSeconds(m, g, 1))
+	}
+	if *traceOn {
+		fmt.Println("prefillserve: flight recorder on — fetch /v1/trace and open in https://ui.perfetto.dev")
 	}
 	fmt.Printf("prefillserve: listening on %s\n", *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))

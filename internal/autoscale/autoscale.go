@@ -40,6 +40,7 @@ import (
 	"repro/internal/router"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // ColdStartSeconds prices bringing up one instance: every GPU of the
@@ -107,6 +108,10 @@ type Config struct {
 	// wall clock); batch experiments leave it unset so the event queue
 	// drains and the run terminates.
 	KeepAlive bool
+	// Tracer, when non-nil, receives cold-start window spans (scale-up
+	// decision → routable), revive instants, and a pool-size gauge each
+	// control tick.
+	Tracer *trace.Recorder
 }
 
 func (c *Config) defaults() error {
@@ -423,6 +428,7 @@ func (c *Controller) tick() {
 	} else if size < c.stats.MinInstances {
 		c.stats.MinInstances = size
 	}
+	c.cfg.Tracer.PoolGauge(now, c.rt.Routable(), c.pendingAdds)
 
 	// Keep ticking while there is anything left to react to: queued
 	// events (arrivals, executions, cold starts) or in-flight work. A
@@ -447,6 +453,7 @@ func (c *Controller) scaleUp(now float64) {
 			if err := c.rt.Undrain(info.ID); err == nil {
 				c.stats.Revives++
 				c.lastAction = now
+				c.cfg.Tracer.ColdStart(now, 0, "revive", c.Size())
 				return
 			}
 		}
@@ -463,6 +470,7 @@ func (c *Controller) scaleUp(now float64) {
 	c.pendingAdds++
 	c.stats.ScaleUps++
 	c.lastAction = now
+	c.cfg.Tracer.ColdStart(now, c.cfg.ColdStartSeconds, "coldstart", c.Size())
 	c.s.After(c.cfg.ColdStartSeconds, func() {
 		c.pendingAdds--
 		if _, err := c.rt.AddInstance(eng); err != nil && c.err == nil {

@@ -19,6 +19,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Record is the completion report of one request.
@@ -84,6 +85,13 @@ type Config struct {
 	HostCacheBytes int64
 	// OnComplete receives the Record of every finished request.
 	OnComplete func(Record)
+	// Tracer, when non-nil, receives the request lifecycle spans (queue
+	// wait, execution, pipeline stages) and cache-residency gauges of
+	// every engine built from this Config. Each constructor registers its
+	// own trace.Instance, so a routed fleet sharing one Config gets one
+	// timeline per engine. A nil Tracer disables tracing at zero cost
+	// (nil-handle branch per event; no allocation).
+	Tracer *trace.Recorder
 }
 
 func (c *Config) validate() error {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/kvcache"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // lifecycle is the dispatch lifecycle shared by every engine: begin pins
@@ -23,6 +24,10 @@ type lifecycle struct {
 	opts  graph.Options
 	cache *kvcache.Manager
 	prof  profile
+	// ti is the engine's flight-recorder handle (nil when tracing is
+	// disabled): begin emits the queue-wait span, finish the execution
+	// span, so every request's JCT is fully attributed queue+exec.
+	ti *trace.Instance
 
 	// residentKV engines must hold a running request's full fresh KV in
 	// the pool for the duration of execution (PagedAttention, chunked
@@ -56,6 +61,11 @@ type inflight struct {
 	// already ran it, so estimate does not repeat the cost model.
 	est      float64
 	estValid bool
+
+	// mark is a scratch timestamp for intra-request trace boundaries:
+	// PipelineParallel stamps each stage's start here so stage spans can
+	// be emitted without a per-request closure.
+	mark float64
 }
 
 // fresh returns the tokens that must be computed.
@@ -71,6 +81,7 @@ func (l *lifecycle) begin(r *sched.Request, now float64) *inflight {
 		cached = r.Len()
 	}
 	inf := &inflight{req: r, start: now, hashes: hashes, cached: cached, unpin: unpin}
+	l.ti.Queue(r.ID, r.Class, r.ArrivalTime, now)
 	if l.hostRestore {
 		l.maybeRestore(inf)
 	}
@@ -145,6 +156,7 @@ func (l *lifecycle) finish(inf *inflight, finish float64) {
 		inf.unreserve()
 	}
 	l.cache.InsertH(inf.hashes, finish)
+	l.ti.Exec(inf.req.ID, inf.req.Class, inf.start, finish, inf.cached, inf.req.EstimatedSeconds)
 	l.cfg.emit(Record{
 		Req:            inf.req,
 		Arrival:        inf.req.ArrivalTime,

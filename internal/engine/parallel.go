@@ -9,6 +9,7 @@ import (
 	"repro/internal/ringbuf"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // linkCrossings returns how many times each communicated byte traverses
@@ -69,6 +70,8 @@ func NewTensorParallel(cfg Config) (*TensorParallel, error) {
 	if err != nil {
 		return nil, err
 	}
+	ti := cfg.Tracer.NewInstance("tensor-parallel")
+	trace.WatchCache(ti, cache)
 	return &TensorParallel{
 		sim:       cfg.Sim,
 		scheduler: sched.NewFIFO(),
@@ -79,6 +82,7 @@ func NewTensorParallel(cfg Config) (*TensorParallel, error) {
 			opts:       opts,
 			cache:      cache,
 			prof:       prof,
+			ti:         ti,
 			residentKV: true,
 			spillGPUs:  2, // both GPUs overflow their share
 		},
@@ -186,6 +190,8 @@ func NewPipelineParallel(cfg Config) (*PipelineParallel, error) {
 	if err != nil {
 		return nil, err
 	}
+	ti := cfg.Tracer.NewInstance("pipeline-parallel")
+	trace.WatchCache(ti, cache)
 	return &PipelineParallel{
 		sim:       cfg.Sim,
 		scheduler: sched.NewFIFO(),
@@ -196,6 +202,7 @@ func NewPipelineParallel(cfg Config) (*PipelineParallel, error) {
 			opts:       opts,
 			cache:      cache,
 			prof:       prof,
+			ti:         ti,
 			residentKV: true,
 			spillGPUs:  2, // both stages overflow their share
 		},
@@ -241,6 +248,7 @@ func (p *PipelineParallel) dispatch0() {
 	// share of the pass on the per-stage cost model.
 	dur := ppStageImbalance*p.lc.estimate(inf) + p.handoffSeconds(inf.fresh()) +
 		spillSeconds(inf.spilled/2, p.lc.cfg.GPU.HostBWBytes)
+	inf.mark = now
 	p.stage0Cur = inf
 	p.sim.AfterFunc(dur, ppStage0Done, p)
 }
@@ -252,6 +260,9 @@ func ppStage0Done(arg any) {
 	inf := p.stage0Cur
 	p.stage0Cur = nil
 	p.stageBusy[0] = false
+	now := p.sim.Now()
+	p.lc.ti.Stage("pass-stage0", inf.req.ID, inf.req.Class, inf.mark, now)
+	inf.mark = now // handoff wait starts here
 	p.handoff.PushBack(inf)
 	p.dispatch1()
 	p.dispatch0()
@@ -263,6 +274,9 @@ func (p *PipelineParallel) dispatch1() {
 	}
 	inf, _ := p.handoff.PopFront()
 	p.stageBusy[1] = true
+	now := p.sim.Now()
+	p.lc.ti.Stage("stage1-wait", inf.req.ID, inf.req.Class, inf.mark, now)
+	inf.mark = now
 	dur := p.lc.estimate(inf) + spillSeconds(inf.spilled/2, p.lc.cfg.GPU.HostBWBytes)
 	p.stage1Cur = inf
 	p.sim.AfterFunc(dur, ppStage1Done, p)
@@ -274,7 +288,9 @@ func ppStage1Done(arg any) {
 	p := arg.(*PipelineParallel)
 	inf := p.stage1Cur
 	p.stage1Cur = nil
-	p.lc.finish(inf, p.sim.Now())
+	now := p.sim.Now()
+	p.lc.ti.Stage("pass-stage1", inf.req.ID, inf.req.Class, inf.mark, now)
+	p.lc.finish(inf, now)
 	p.stageBusy[1] = false
 	p.dispatch1()
 }

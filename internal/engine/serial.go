@@ -7,6 +7,7 @@ import (
 	"repro/internal/kvcache"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Serial is a single-device engine that executes one request at a time —
@@ -61,6 +62,8 @@ func NewSerial(cfg Config, spec SerialSpec) (*Serial, error) {
 	if err != nil {
 		return nil, err
 	}
+	ti := cfg.Tracer.NewInstance(spec.Name)
+	trace.WatchCache(ti, cache)
 	s := &Serial{
 		sim:       cfg.Sim,
 		scheduler: spec.Scheduler,
@@ -71,6 +74,7 @@ func NewSerial(cfg Config, spec SerialSpec) (*Serial, error) {
 			opts:        spec.Opts,
 			cache:       cache,
 			prof:        prof,
+			ti:          ti,
 			residentKV:  spec.ResidentKV,
 			hostRestore: true,
 			spillGPUs:   1,

@@ -11,6 +11,7 @@ import (
 	"repro/internal/router"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -62,6 +63,10 @@ type RoutingRunConfig struct {
 	MaxBacklogSeconds float64
 	// Lambda overrides PrefillOnly's fairness parameter (0 = default).
 	Lambda float64
+	// Tracer, when non-nil, records the run's request lifecycle and fleet
+	// gauges into the flight recorder (export with WriteTrace). The sweep
+	// paths leave it nil so their cells stay deterministic and lean.
+	Tracer *trace.Recorder
 }
 
 // RoutingRunResult aggregates one routed run.
@@ -89,6 +94,16 @@ func RoutingRun(rc RoutingRunConfig) (*RoutingRunResult, error) {
 	return RoutingRunPolicy(rc, rc.Policy.Policy())
 }
 
+// TracedRoutingRun is RoutingRun with a fresh flight recorder attached
+// (maxSpans <= 0 takes the default ring depth): one instrumented run whose
+// full request lifecycle — submit, route/reject, queue, exec, pass stages —
+// and fleet gauges land in the returned recorder, ready for WriteTrace.
+func TracedRoutingRun(rc RoutingRunConfig, maxSpans int) (*RoutingRunResult, *trace.Recorder, error) {
+	rc.Tracer = trace.New(maxSpans)
+	res, err := RoutingRun(rc)
+	return res, rc.Tracer, err
+}
+
 // RoutingRunPolicy is RoutingRun with an arbitrary (possibly custom)
 // router policy; rc.Policy is ignored.
 func RoutingRunPolicy(rc RoutingRunConfig, pol router.Policy) (*RoutingRunResult, error) {
@@ -108,6 +123,7 @@ func RoutingRunPolicy(rc RoutingRunConfig, pol router.Policy) (*RoutingRunResult
 		GPU:           rc.Scenario.GPU,
 		Sim:           &s,
 		ProfileMaxLen: profLen,
+		Tracer:        rc.Tracer,
 		OnComplete: func(r engine.Record) {
 			if rt != nil {
 				rt.Completed(r)
@@ -128,6 +144,7 @@ func RoutingRunPolicy(rc RoutingRunConfig, pol router.Policy) (*RoutingRunResult
 		Policy:            pol,
 		MaxBacklogSeconds: rc.MaxBacklogSeconds,
 		Admission:         admission,
+		Tracer:            rc.Tracer,
 	}, engines...)
 	if err != nil {
 		return nil, err
@@ -153,6 +170,18 @@ func RoutingRunPolicy(rc RoutingRunConfig, pol router.Policy) (*RoutingRunResult
 	}
 	if err := scheduleArrivals(&s, rc.Dataset, rc.QPS, rc.Seed, submit); err != nil {
 		return nil, err
+	}
+	if rc.Tracer != nil {
+		// Fleet gauges on sim ticks: router loads, pool size, cache
+		// residency. Armed after arrivals are scheduled so the sampler's
+		// drain discipline (stop when no other events remain) holds.
+		trace.NewSampler(&s, 0.5, func(now float64) {
+			for _, info := range rt.InstanceInfos() {
+				rc.Tracer.LoadGauge(now, info.ID, info.Load.QueuedRequests, info.Load.BacklogSeconds)
+			}
+			rc.Tracer.PoolGauge(now, rt.Routable(), 0)
+			rc.Tracer.SampleCaches(now)
+		}).Start()
 	}
 	s.Run()
 

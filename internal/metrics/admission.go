@@ -35,6 +35,10 @@ type Admission struct {
 	// classes maps policy → class label → tally; it is the single source
 	// of truth, with the aggregate views summing over it.
 	classes map[string]map[string]AdmissionCount
+	// reasons maps policy → class label → reject reason → count. It
+	// stratifies the Rejected side of classes: which budget a shed
+	// tripped (the aggregate backlog bound vs a per-class budget).
+	reasons map[string]map[string]map[string]int64
 }
 
 func (a *Admission) bump(policy, class string, accepted bool) {
@@ -68,6 +72,51 @@ func (a *Admission) AcceptClass(policy, class string) { a.bump(policy, class, tr
 
 // RejectClass records a shed request under a policy and SLO class.
 func (a *Admission) RejectClass(policy, class string) { a.bump(policy, class, false) }
+
+// RejectClassReason records a shed request and which admission budget it
+// tripped (see router.RejectError.Reason). The class tally and the
+// per-reason tally move together, so summing reasons recovers the
+// class's Rejected count.
+func (a *Admission) RejectClassReason(policy, class, reason string) {
+	a.bump(policy, class, false)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.reasons == nil {
+		a.reasons = make(map[string]map[string]map[string]int64)
+	}
+	byClass := a.reasons[policy]
+	if byClass == nil {
+		byClass = make(map[string]map[string]int64)
+		a.reasons[policy] = byClass
+	}
+	byReason := byClass[class]
+	if byReason == nil {
+		byReason = make(map[string]int64)
+		byClass[class] = byReason
+	}
+	byReason[reason]++
+}
+
+// ReasonSnapshot returns a copy of the per-reason reject tallies:
+// policy → class → reason → count. Policies that only recorded
+// reasonless rejects are absent.
+func (a *Admission) ReasonSnapshot() map[string]map[string]map[string]int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]map[string]map[string]int64, len(a.reasons))
+	for policy, byClass := range a.reasons {
+		cm := make(map[string]map[string]int64, len(byClass))
+		for class, byReason := range byClass {
+			rm := make(map[string]int64, len(byReason))
+			for reason, n := range byReason {
+				rm[reason] = n
+			}
+			cm[class] = rm
+		}
+		out[policy] = cm
+	}
+	return out
+}
 
 // Policy returns the tally of one policy, summed over classes.
 func (a *Admission) Policy(policy string) AdmissionCount {

@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func renderRegistry(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestRegistryTextFormat(t *testing.T) {
+	r := NewRegistry()
+	f := r.Family("prefill_requests_total", "Requests seen.", TypeCounter)
+	f.Add(3, Label{"policy", "affinity"}, Label{"class", "interactive"})
+	f.Add(1.5, Label{"policy", "affinity"}, Label{"class", "batch"})
+	r.Family("prefill_empty", "Declared but sampleless.", TypeGauge)
+
+	out := renderRegistry(t, r)
+	for _, want := range []string{
+		"# HELP prefill_requests_total Requests seen.\n",
+		"# TYPE prefill_requests_total counter\n",
+		`prefill_requests_total{policy="affinity",class="interactive"} 3` + "\n",
+		`prefill_requests_total{policy="affinity",class="batch"} 1.5` + "\n",
+		// A family with no samples still exposes its schema.
+		"# HELP prefill_empty Declared but sampleless.\n",
+		"# TYPE prefill_empty gauge\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Integers render without an exponent or decimal point.
+	if strings.Contains(out, "} 3e") || strings.Contains(out, "} 3.0") {
+		t.Fatalf("integer sample rendered non-integer:\n%s", out)
+	}
+}
+
+func TestRegistryFamilyIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Family("m", "h", TypeCounter)
+	b := r.Family("m", "ignored", TypeGauge)
+	if a != b {
+		t.Fatal("re-declaring a family created a second one")
+	}
+	a.Add(1)
+	out := renderRegistry(t, r)
+	if strings.Count(out, "# TYPE m ") != 1 {
+		t.Fatalf("family rendered twice:\n%s", out)
+	}
+}
+
+func TestRegistryLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Family("m", "h", TypeGauge).Add(1, Label{"name", "a\"b\\c\nd"})
+	out := renderRegistry(t, r)
+	want := `m{name="a\"b\\c\nd"} 1`
+	if !strings.Contains(out, want) {
+		t.Fatalf("escaping: want %q in:\n%s", want, out)
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.7, 5, 100} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 5 || snap.Sum != 106.25 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+
+	r := NewRegistry()
+	r.Family("lat", "h", TypeHistogram).AddHistogram(snap, Label{"class", "interactive"})
+	out := renderRegistry(t, r)
+	for _, want := range []string{
+		// Buckets are cumulative; +Inf equals the total count.
+		`lat_bucket{class="interactive",le="0.1"} 1`,
+		`lat_bucket{class="interactive",le="1"} 3`,
+		`lat_bucket{class="interactive",le="10"} 4`,
+		`lat_bucket{class="interactive",le="+Inf"} 5`,
+		`lat_sum{class="interactive"} 106.25`,
+		`lat_count{class="interactive"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("histogram output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramValidatesBuckets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-ascending buckets accepted")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(DefLatencyBuckets)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(0.2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != 8000 {
+		t.Fatalf("count = %d, want 8000", got)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	got := SortedKeys(map[string]int{"b": 1, "a": 2, "c": 3})
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("SortedKeys = %v", got)
+	}
+}

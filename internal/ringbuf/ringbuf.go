@@ -58,6 +58,28 @@ func (r *Ring[T]) PopFront() (v T, ok bool) {
 	return v, true
 }
 
+// At returns the i-th queued element counting from the head (0 is the
+// oldest) without removing it. It panics when i is out of range. Readers
+// that only need to walk the live window (the trace exporter over the
+// flight-recorder ring) use this instead of draining and re-pushing.
+func (r *Ring[T]) At(i int) T {
+	if i < 0 || i >= r.count {
+		panic("ringbuf: index out of range")
+	}
+	return r.buf[(r.head+i)%len(r.buf)]
+}
+
+// Reserve grows the backing array to hold at least n elements without
+// moving the shrink floor: a ring that will run at a known steady depth
+// (the flight recorder's span capacity) preallocates once so pushes at
+// that depth never resize mid-flight.
+func (r *Ring[T]) Reserve(n int) {
+	if n <= len(r.buf) {
+		return
+	}
+	r.resize(n)
+}
+
 // resize moves the live window into a fresh backing array of the given
 // capacity (at least minCap).
 func (r *Ring[T]) resize(n int) {

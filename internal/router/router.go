@@ -31,6 +31,18 @@ import (
 	"repro/internal/jct"
 	"repro/internal/metrics"
 	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Reject reasons: which admission budget a shed request tripped. They are
+// stable label values for metrics, the 429 body and traces.
+const (
+	// ReasonBacklog is the aggregate bound: the projected wait exceeded
+	// MaxBacklogSeconds.
+	ReasonBacklog = "backlog"
+	// ReasonClassBudget is a per-class bound: the projected wait exceeded
+	// the request class's ClassBacklogSeconds budget.
+	ReasonClassBudget = "class-budget"
 )
 
 // Load is a snapshot of one instance's work as seen by the router.
@@ -93,12 +105,16 @@ type RejectError struct {
 	// BoundSeconds is the admission bound applied (the request class's
 	// budget when one is configured, MaxBacklogSeconds otherwise).
 	BoundSeconds float64
+	// Reason says which budget was tripped: ReasonClassBudget when the
+	// request class has its own ClassBacklogSeconds entry, ReasonBacklog
+	// when the aggregate MaxBacklogSeconds applied.
+	Reason string
 }
 
 // Error implements error.
 func (e *RejectError) Error() string {
-	return fmt.Sprintf("router: %s rejected %s request for instance %d: backlog %.3gs + est %.3gs exceeds bound %.3gs",
-		e.Policy, e.Class, e.Instance, e.BacklogSeconds, e.EstimateSeconds, e.BoundSeconds)
+	return fmt.Sprintf("router: %s rejected %s request for instance %d: backlog %.3gs + est %.3gs exceeds %s bound %.3gs",
+		e.Policy, e.Class, e.Instance, e.BacklogSeconds, e.EstimateSeconds, e.Reason, e.BoundSeconds)
 }
 
 // Config configures a Router.
@@ -126,6 +142,11 @@ type Config struct {
 	// engine's cost model if it exposes that, and otherwise falls back to
 	// a fixed per-token constant.
 	EstimatorFor func(e engine.Engine) jct.Estimator
+	// Tracer, when non-nil, receives submit/route/reject instants for
+	// every routing decision. The router has no clock, so events are
+	// stamped with the request's arrival time (submission happens at
+	// arrival on both the simulated and the served path).
+	Tracer *trace.Recorder
 }
 
 // fallbackSecondsPerToken prices backlog for engines that expose neither an
@@ -490,13 +511,18 @@ func (rt *Router) Submit(r *sched.Request) error {
 			rt.cfg.Policy.Name(), idx, len(v.insts))
 	}
 	st := v.insts[idx]
-	est := estSeconds(st, r, v.HitTokens(idx, r))
+	rt.cfg.Tracer.Submit(r.ArrivalTime, rt.cfg.Policy.Name(), r.ID, r.Class)
+	hit := v.HitTokens(idx, r)
+	est := estSeconds(st, r, hit)
 	bound := rt.cfg.MaxBacklogSeconds
+	reason := ReasonBacklog
 	if classBound, ok := rt.cfg.ClassBacklogSeconds[r.Class]; ok {
 		bound = classBound
+		reason = ReasonClassBudget
 	}
 	if bound > 0 && st.load.BacklogSeconds+est > bound {
-		rt.admission.RejectClass(rt.cfg.Policy.Name(), r.Class.String())
+		rt.admission.RejectClassReason(rt.cfg.Policy.Name(), r.Class.String(), reason)
+		rt.cfg.Tracer.Reject(r.ArrivalTime, reason, r.ID, r.Class, st.id, st.load.BacklogSeconds, bound)
 		return &RejectError{
 			Policy:          rt.cfg.Policy.Name(),
 			Instance:        st.id,
@@ -504,9 +530,11 @@ func (rt *Router) Submit(r *sched.Request) error {
 			BacklogSeconds:  st.load.BacklogSeconds,
 			EstimateSeconds: est,
 			BoundSeconds:    bound,
+			Reason:          reason,
 		}
 	}
 	rt.admission.AcceptClass(rt.cfg.Policy.Name(), r.Class.String())
+	rt.cfg.Tracer.Route(r.ArrivalTime, rt.cfg.Policy.Name(), r.ID, r.Class, st.id, hit, est)
 	var hashes []uint64
 	if c := st.eng.Cache(); c != nil {
 		hashes = engine.HashesOf(r, c.BlockTokens())

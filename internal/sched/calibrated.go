@@ -41,6 +41,8 @@ func (s *SRJF) Next(now float64) *Request {
 	if e == nil {
 		return nil
 	}
+	// The key is the frozen arrival-time JCT; stamp it for observability.
+	e.r.EstimatedSeconds = e.key
 	return e.r
 }
 
@@ -227,7 +229,15 @@ func (c *Calibrated) Next(now float64) *Request {
 			delete(c.byHash, h)
 		}
 	}
+	e.r.EstimatedSeconds = c.estimateOf(e)
 	return e.r
+}
+
+// estimateOf recovers the calibrated JCT estimate from an entry's
+// time-invariant key (key = w·jct + λ/1000·arrival), so dispatch does not
+// re-run the cost model just to stamp the estimate.
+func (c *Calibrated) estimateOf(e *entry) float64 {
+	return (e.key - c.lambda/1000*e.r.ArrivalTime) / classWeight(c.weights, e.r.Class)
 }
 
 // OnCacheChange rekeys the waiting requests whose hash chains include any
@@ -316,5 +326,8 @@ func (c *CalibratedSweep) Next(now float64) *Request {
 	c.q[best] = c.q[len(c.q)-1]
 	c.q[len(c.q)-1] = nil
 	c.q = c.q[:len(c.q)-1]
+	// Mirror Calibrated's estimate stamping so the oracle stays
+	// behaviorally identical.
+	e.r.EstimatedSeconds = (e.key - c.lambda/1000*e.r.ArrivalTime) / classWeight(c.weights, e.r.Class)
 	return e.r
 }

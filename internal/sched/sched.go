@@ -78,6 +78,13 @@ type Request struct {
 	// e.g. []string{"Yes","No"}); interpreted by the serving frontend.
 	AllowedTokens []string
 
+	// EstimatedSeconds is the scheduler's JCT estimate for this request,
+	// stamped when the policy dequeues it for execution (0 when the
+	// policy does not estimate, e.g. FIFO). The trace layer reports it
+	// alongside the measured execution time so estimator error is
+	// observable per request.
+	EstimatedSeconds float64
+
 	// BlockHashes caches the content-addressed prefix-cache hash chain
 	// of Tokens for HashBlockTokens-sized blocks. Engines populate it
 	// lazily (via kvcache.BlockHashes) so repeated cache operations on

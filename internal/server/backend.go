@@ -14,10 +14,12 @@ import (
 	"repro/internal/autoscale"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/router"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/tokenizer"
+	"repro/internal/trace"
 )
 
 // Result is the outcome of one served request.
@@ -47,20 +49,34 @@ type Backend struct {
 	engines []*core.Engine
 	rt      *router.Router        // nil in single-engine mode
 	ctl     *autoscale.Controller // nil without autoscaling
+	rec     *trace.Recorder       // nil unless tracing enabled
 	started time.Time
 	nextID  int64
 	waiters map[int64]chan Result
 	closed  bool
 	wake    chan struct{}
 	done    chan struct{}
+
+	// latency accumulates per-class request latency histograms for the
+	// /v1/metrics surface; observations happen in onComplete.
+	latency [sched.NumClasses]*metrics.Histogram
+	// loopTicks counts clock-loop iterations so gauge sampling for the
+	// flight recorder runs every gaugeSampleTicks wall milliseconds
+	// instead of every tick.
+	loopTicks int
 }
+
+// gaugeSampleTicks is how many ~1 ms clock-loop iterations pass between
+// flight-recorder gauge samples (the served path samples on the wall
+// clock; batch runs sample on sim ticks via trace.Sampler instead).
+const gaugeSampleTicks = 100
 
 // newBackendBase builds the engine-independent backend shell.
 func newBackendBase(speedup float64) *Backend {
 	if speedup <= 0 {
 		speedup = 1000
 	}
-	return &Backend{
+	b := &Backend{
 		Tokenizer: tokenizer.New(),
 		Speedup:   speedup,
 		sim:       &sim.Sim{},
@@ -69,6 +85,10 @@ func newBackendBase(speedup float64) *Backend {
 		wake:      make(chan struct{}, 1),
 		done:      make(chan struct{}),
 	}
+	for i := range b.latency {
+		b.latency[i] = metrics.NewHistogram(metrics.DefLatencyBuckets)
+	}
+	return b
 }
 
 // NewBackend builds a backend around a PrefillOnly engine created with the
@@ -81,6 +101,7 @@ func NewBackend(cfg engine.Config, opts core.Options, speedup float64) (*Backend
 	b := newBackendBase(speedup)
 	cfg.Sim = b.sim
 	cfg.OnComplete = b.onComplete
+	b.rec = cfg.Tracer
 	eng, err := core.New(cfg, opts)
 	if err != nil {
 		return nil, err
@@ -134,6 +155,12 @@ func newRouted(cfg engine.Config, opts core.Options, speedup float64, instances 
 	b := newBackendBase(speedup)
 	cfg.Sim = b.sim
 	cfg.OnComplete = b.onComplete
+	// One recorder serves every tier: engine lifecycle spans, router
+	// decisions and autoscale pool events share the timeline.
+	b.rec = cfg.Tracer
+	if rcfg.Tracer == nil {
+		rcfg.Tracer = cfg.Tracer
+	}
 	factory := func() (engine.Engine, error) {
 		eng, err := core.New(cfg, opts)
 		if err != nil {
@@ -159,6 +186,9 @@ func newRouted(cfg engine.Config, opts core.Options, speedup float64, instances 
 		acfg.Model = cfg.Model
 		acfg.GPU = cfg.GPU
 		acfg.KeepAlive = true
+		if acfg.Tracer == nil {
+			acfg.Tracer = cfg.Tracer
+		}
 		ctl, err := autoscale.New(*acfg, b.sim, rt, factory)
 		if err != nil {
 			return nil, err
@@ -232,7 +262,10 @@ type StatsSnapshot struct {
 	// AdmissionByClass stratifies Admission by SLO class label:
 	// policy → class → counts.
 	AdmissionByClass map[string]map[string]AdmissionStats `json:"admission_by_class,omitempty"`
-	Autoscale        *AutoscaleStats                      `json:"autoscale,omitempty"`
+	// RejectReasons stratifies rejects by which budget they tripped:
+	// policy → class → reason ("backlog" | "class-budget") → count.
+	RejectReasons map[string]map[string]map[string]int64 `json:"admission_reject_reasons,omitempty"`
+	Autoscale     *AutoscaleStats                        `json:"autoscale,omitempty"`
 }
 
 // AdmissionStats is one policy's accept/reject tally in a StatsSnapshot.
@@ -299,6 +332,9 @@ func (b *Backend) Stats() StatsSnapshot {
 		}
 		snap.AdmissionByClass[pol] = m
 	}
+	if reasons := b.rt.Admission().ReasonSnapshot(); len(reasons) > 0 {
+		snap.RejectReasons = reasons
+	}
 	if b.ctl != nil {
 		st := b.ctl.Stats()
 		snap.Autoscale = &AutoscaleStats{
@@ -324,6 +360,9 @@ func (b *Backend) simNow() float64 {
 func (b *Backend) onComplete(rec engine.Record) {
 	if b.rt != nil {
 		b.rt.Completed(rec)
+	}
+	if c := int(rec.Req.Class); c < len(b.latency) {
+		b.latency[c].Observe(rec.Latency())
 	}
 	ch, ok := b.waiters[rec.Req.ID]
 	if !ok {
@@ -358,9 +397,39 @@ func (b *Backend) loop() {
 		}
 		b.mu.Lock()
 		b.sim.RunUntil(b.simNow())
+		if b.rec != nil {
+			if b.loopTicks++; b.loopTicks >= gaugeSampleTicks {
+				b.loopTicks = 0
+				b.sampleGauges()
+			}
+		}
 		b.mu.Unlock()
 	}
 }
+
+// sampleGauges emits the fleet gauges (per-instance load, cache
+// residency, pool size) into the flight recorder. Caller holds b.mu.
+func (b *Backend) sampleGauges() {
+	now := b.sim.Now()
+	if b.rt != nil {
+		for _, info := range b.rt.InstanceInfos() {
+			b.rec.LoadGauge(now, info.ID, info.Load.QueuedRequests, info.Load.BacklogSeconds)
+		}
+		pending := 0
+		if b.ctl != nil {
+			pending = b.ctl.Size() - b.rt.Routable()
+		}
+		b.rec.PoolGauge(now, b.rt.Routable(), pending)
+	} else {
+		b.rec.LoadGauge(now, 0, len(b.waiters), 0)
+		b.rec.PoolGauge(now, 1, 0)
+	}
+	b.rec.SampleCaches(now)
+}
+
+// Trace exposes the backend's flight recorder (nil unless tracing is
+// enabled via the engine Config's Tracer).
+func (b *Backend) Trace() *trace.Recorder { return b.rec }
 
 // Close stops the backend's clock loop. In-flight Submit calls are
 // answered with an error result.

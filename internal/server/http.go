@@ -61,6 +61,26 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
+// rejectBody is the 429 payload for admission-control sheds: the
+// human-readable error plus the structured decision, so clients can back
+// off per class or per budget without parsing the message.
+type rejectBody struct {
+	Error string `json:"error"`
+	// Reason is the tripped budget: "backlog" (aggregate
+	// MaxBacklogSeconds) or "class-budget" (the class's own entry).
+	Reason string `json:"reason"`
+	// Class is the shed request's SLO class label.
+	Class string `json:"class"`
+	// Policy is the routing policy that chose the instance.
+	Policy string `json:"policy"`
+	// Instance is the chosen instance's stable ID.
+	Instance int `json:"instance"`
+	// BacklogSeconds is the instance's estimated backlog at rejection.
+	BacklogSeconds float64 `json:"backlog_seconds"`
+	// BoundSeconds is the admission bound that applied.
+	BoundSeconds float64 `json:"bound_seconds"`
+}
+
 // Handler serves the OpenAI-compatible API over a Backend.
 type Handler struct {
 	Backend   *Backend
@@ -72,13 +92,28 @@ type Handler struct {
 func NewHandler(b *Backend, modelName string) *Handler {
 	h := &Handler{Backend: b, ModelName: modelName, mux: http.NewServeMux()}
 	h.mux.HandleFunc("/v1/completions", h.completions)
-	h.mux.HandleFunc("/v1/models", h.models)
-	h.mux.HandleFunc("/v1/stats", h.stats)
-	h.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+	h.mux.HandleFunc("/v1/models", readOnly(h.models))
+	h.mux.HandleFunc("/v1/stats", readOnly(h.stats))
+	h.mux.HandleFunc("/v1/metrics", readOnly(h.metrics))
+	h.mux.HandleFunc("/v1/trace", readOnly(h.trace))
+	h.mux.HandleFunc("/healthz", readOnly(func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
-	})
+	}))
 	return h
+}
+
+// readOnly restricts a handler to GET and HEAD, answering anything else
+// with a consistent 405 and an Allow header.
+func readOnly(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			writeJSON(w, http.StatusMethodNotAllowed, apiError{"GET or HEAD required"})
+			return
+		}
+		next(w, r)
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -104,11 +139,28 @@ func (h *Handler) models(w http.ResponseWriter, r *http.Request) {
 // stats reports the cluster's live state: per-instance router loads,
 // the admission tally, and (when autoscaled) the pool controller.
 func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeJSON(w, http.StatusMethodNotAllowed, apiError{"GET required"})
+	writeJSON(w, http.StatusOK, h.Backend.Stats())
+}
+
+// metrics serves the cluster's counters, gauges and histograms in
+// Prometheus text exposition format.
+func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = h.Backend.Metrics().WriteTo(w)
+}
+
+// trace serves the flight recorder's live window as Chrome trace-event
+// JSON (loadable in Perfetto), or 404 when tracing is disabled.
+func (h *Handler) trace(w http.ResponseWriter, r *http.Request) {
+	rec := h.Backend.Trace()
+	if rec == nil {
+		writeJSON(w, http.StatusNotFound, apiError{"tracing disabled (start the server with -trace)"})
 		return
 	}
-	writeJSON(w, http.StatusOK, h.Backend.Stats())
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = rec.WriteTrace(w)
 }
 
 func (h *Handler) completions(w http.ResponseWriter, r *http.Request) {
@@ -145,10 +197,19 @@ func (h *Handler) completions(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := h.Backend.SubmitClass(req.Prompt, req.AllowedTokens, userID, class)
 	if err != nil {
-		// Admission-control sheds are the client's signal to back off.
+		// Admission-control sheds are the client's signal to back off;
+		// the structured fields say which budget tripped and for whom.
 		var rej *router.RejectError
 		if errors.As(err, &rej) {
-			writeJSON(w, http.StatusTooManyRequests, apiError{err.Error()})
+			writeJSON(w, http.StatusTooManyRequests, rejectBody{
+				Error:          err.Error(),
+				Reason:         rej.Reason,
+				Class:          rej.Class.String(),
+				Policy:         rej.Policy,
+				Instance:       rej.Instance,
+				BacklogSeconds: rej.BacklogSeconds,
+				BoundSeconds:   rej.BoundSeconds,
+			})
 			return
 		}
 		writeJSON(w, http.StatusServiceUnavailable, apiError{err.Error()})

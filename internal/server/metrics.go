@@ -1,0 +1,178 @@
+package server
+
+import (
+	"strconv"
+
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Metric family names served by /v1/metrics. Exported through tests and
+// greppable from CI, so treat them as a public schema: renaming one is a
+// breaking change for scrapers.
+const (
+	famSimSeconds    = "prefill_sim_seconds"
+	famSimEvents     = "prefill_sim_events_total"
+	famAdmission     = "prefill_admission_decisions_total"
+	famRejects       = "prefill_admission_rejects_total"
+	famQueueDepth    = "prefill_instance_queued_requests"
+	famBacklog       = "prefill_instance_backlog_seconds"
+	famRouted        = "prefill_instance_routed_requests_total"
+	famCacheLookup   = "prefill_cache_lookup_tokens_total"
+	famCacheHit      = "prefill_cache_hit_tokens_total"
+	famCacheUsed     = "prefill_cache_used_bytes"
+	famCacheCapacity = "prefill_cache_capacity_bytes"
+	famPoolSize      = "prefill_pool_size"
+	famScaleUps      = "prefill_pool_scale_ups_total"
+	famScaleDowns    = "prefill_pool_scale_downs_total"
+	famRevives       = "prefill_pool_revives_total"
+	famGPUSeconds    = "prefill_pool_gpu_seconds_total"
+	famLatency       = "prefill_request_latency_seconds"
+	famTraceSpans    = "prefill_trace_spans_total"
+	famTraceDropped  = "prefill_trace_spans_dropped_total"
+)
+
+// Metrics renders a consistent snapshot of the serving cluster as a
+// Prometheus registry. Like Stats it holds the backend lock, so every
+// family in one scrape reflects the same instant. Families are always
+// declared — a mode that has no samples for one (e.g. single-engine mode
+// has no admission control) still exposes the family header, so scrapers
+// see a stable schema.
+func (b *Backend) Metrics() *metrics.Registry {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	reg := metrics.NewRegistry()
+	now := b.sim.Now()
+
+	reg.Family(famSimSeconds, "Simulated time in seconds.", metrics.TypeGauge).Add(now)
+	reg.Family(famSimEvents, "Events executed by the simulation kernel.", metrics.TypeCounter).
+		Add(float64(b.sim.Executed()))
+
+	admission := reg.Family(famAdmission,
+		"Routing admission decisions by policy, SLO class and decision.", metrics.TypeCounter)
+	rejects := reg.Family(famRejects,
+		"Admission rejects by policy, SLO class and tripped budget.", metrics.TypeCounter)
+	queueDepth := reg.Family(famQueueDepth,
+		"Requests routed to the instance and not yet completed.", metrics.TypeGauge)
+	backlog := reg.Family(famBacklog,
+		"Estimated seconds of queued work on the instance.", metrics.TypeGauge)
+	routed := reg.Family(famRouted,
+		"Requests ever routed to the instance.", metrics.TypeCounter)
+
+	if b.rt != nil {
+		byClass := b.rt.Admission().ClassSnapshot()
+		for _, pol := range metrics.SortedKeys(byClass) {
+			classes := byClass[pol]
+			for _, class := range metrics.SortedKeys(classes) {
+				c := classes[class]
+				labels := func(decision string) []metrics.Label {
+					return []metrics.Label{
+						{Name: "policy", Value: pol},
+						{Name: "class", Value: className(class)},
+						{Name: "decision", Value: decision},
+					}
+				}
+				admission.Add(float64(c.Accepted), labels("accepted")...)
+				admission.Add(float64(c.Rejected), labels("rejected")...)
+			}
+		}
+		reasons := b.rt.Admission().ReasonSnapshot()
+		for _, pol := range metrics.SortedKeys(reasons) {
+			for _, class := range metrics.SortedKeys(reasons[pol]) {
+				byReason := reasons[pol][class]
+				for _, reason := range metrics.SortedKeys(byReason) {
+					rejects.Add(float64(byReason[reason]),
+						metrics.Label{Name: "policy", Value: pol},
+						metrics.Label{Name: "class", Value: className(class)},
+						metrics.Label{Name: "reason", Value: reason})
+				}
+			}
+		}
+		for _, info := range b.rt.InstanceInfos() {
+			inst := metrics.Label{Name: "instance", Value: strconv.Itoa(info.ID)}
+			queueDepth.Add(float64(info.Load.QueuedRequests), inst)
+			backlog.Add(info.Load.BacklogSeconds, inst)
+			routed.Add(float64(info.Load.RoutedRequests), inst)
+		}
+	} else {
+		inst := metrics.Label{Name: "instance", Value: "0"}
+		queueDepth.Add(float64(len(b.waiters)), inst)
+	}
+
+	lookup := reg.Family(famCacheLookup,
+		"Tokens presented to the instance's prefix cache.", metrics.TypeCounter)
+	hit := reg.Family(famCacheHit,
+		"Tokens the instance's prefix cache served without recompute.", metrics.TypeCounter)
+	used := reg.Family(famCacheUsed,
+		"Bytes resident in the instance's prefix cache.", metrics.TypeGauge)
+	capacity := reg.Family(famCacheCapacity,
+		"The instance's prefix-cache pool size in bytes.", metrics.TypeGauge)
+	for i, eng := range b.engines {
+		c := eng.Cache()
+		if c == nil {
+			continue
+		}
+		st := c.Stats()
+		inst := metrics.Label{Name: "instance", Value: strconv.Itoa(i)}
+		lookup.Add(float64(st.LookupTokens), inst)
+		hit.Add(float64(st.HitTokens), inst)
+		used.Add(float64(c.UsedBytes()), inst)
+		capacity.Add(float64(c.CapacityBytes()), inst)
+	}
+
+	pool := reg.Family(famPoolSize,
+		"Routable engine instances (cold-starting additions excluded).", metrics.TypeGauge)
+	scaleUps := reg.Family(famScaleUps, "Autoscaler scale-up decisions.", metrics.TypeCounter)
+	scaleDowns := reg.Family(famScaleDowns, "Autoscaler drain decisions.", metrics.TypeCounter)
+	revives := reg.Family(famRevives,
+		"Scale-ups served by undraining a warm instance.", metrics.TypeCounter)
+	gpuSeconds := reg.Family(famGPUSeconds,
+		"GPU-seconds provisioned (cold starts and drains included).", metrics.TypeCounter)
+	switch {
+	case b.rt != nil:
+		pool.Add(float64(b.rt.Routable()))
+	default:
+		pool.Add(1)
+	}
+	if b.ctl != nil {
+		st := b.ctl.Stats()
+		scaleUps.Add(float64(st.ScaleUps))
+		scaleDowns.Add(float64(st.ScaleDowns))
+		revives.Add(float64(st.Revives))
+		gpuSeconds.Add(b.ctl.GPUSeconds(now))
+	}
+
+	latency := reg.Family(famLatency,
+		"End-to-end request latency in simulated seconds by SLO class.", metrics.TypeHistogram)
+	for _, class := range sched.Classes() {
+		snap := b.latency[class].Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		latency.AddHistogram(snap, metrics.Label{Name: "class", Value: class.String()})
+	}
+
+	spans := reg.Family(famTraceSpans,
+		"Spans emitted into the flight recorder.", metrics.TypeCounter)
+	droppedF := reg.Family(famTraceDropped,
+		"Spans evicted from the flight-recorder ring.", metrics.TypeCounter)
+	if b.rec != nil {
+		for _, k := range trace.Kinds() {
+			if n := b.rec.Emitted(k); n > 0 {
+				spans.Add(float64(n), metrics.Label{Name: "kind", Value: k.String()})
+			}
+		}
+		droppedF.Add(float64(b.rec.Dropped()))
+	}
+	return reg
+}
+
+// className maps the admission tally's class labels (which include the
+// legacy unlabeled "" bucket) onto metric label values.
+func className(class string) string {
+	if class == metrics.ClassUnlabeled {
+		return "unlabeled"
+	}
+	return class
+}

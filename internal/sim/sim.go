@@ -42,13 +42,19 @@ const minEventCap = 8
 // Sim is not goroutine-safe: each simulation owns one Sim, and parallel
 // experiment cells each run their own.
 type Sim struct {
-	now    float64
-	seq    uint64
-	events []event // min-heap ordered by (time, seq)
+	now      float64
+	seq      uint64
+	executed uint64
+	events   []event // min-heap ordered by (time, seq)
 }
 
 // Now returns the current simulated time in seconds.
 func (s *Sim) Now() float64 { return s.now }
+
+// Executed returns the number of events the kernel has run — the
+// observability layer's sim_events_total counter. One integer increment
+// per event keeps it inside the kernel's zero-alloc budget.
+func (s *Sim) Executed() uint64 { return s.executed }
 
 // less orders the heap by (time, seq): earliest first, FIFO on ties.
 func (s *Sim) less(i, j int) bool {
@@ -161,6 +167,7 @@ func (s *Sim) Run() float64 {
 	for len(s.events) > 0 {
 		e := s.pop()
 		s.now = e.time
+		s.executed++
 		e.fn(e.arg)
 	}
 	return s.now
@@ -172,6 +179,7 @@ func (s *Sim) RunUntil(deadline float64) {
 	for len(s.events) > 0 && s.events[0].time <= deadline {
 		e := s.pop()
 		s.now = e.time
+		s.executed++
 		e.fn(e.arg)
 	}
 	if s.now < deadline {

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// traceEvent is one Chrome trace-event record. Complete spans use ph "X"
+// with a duration; instants use ph "i"; counters use ph "C"; metadata
+// (process/thread names) uses ph "M". Timestamps are microseconds.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON-object form of the Chrome trace format.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+const (
+	tracePID = 1
+	// routerTID is the synthetic thread carrying router-level events
+	// (submit/route/reject), cold-start windows and fleet counters;
+	// engine instance i renders as thread i+1.
+	routerTID = 0
+)
+
+// usec converts sim seconds to trace microseconds.
+func usec(s float64) float64 { return s * 1e6 }
+
+// WriteTrace renders the flight recorder's live window as Chrome
+// trace-event JSON, loadable in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing: engine instances appear as threads, request lifecycle
+// spans as "X" events, router decisions as instants and fleet gauges as
+// counter tracks.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	if r == nil {
+		return fmt.Errorf("trace: recorder is nil (tracing disabled)")
+	}
+	insts := r.Instances()
+	spans := r.Spans()
+
+	events := make([]traceEvent, 0, len(spans)+len(insts)+2)
+	events = append(events,
+		traceEvent{Name: "process_name", Ph: "M", PID: tracePID, TID: routerTID,
+			Args: map[string]any{"name": "prefillonly"}},
+		traceEvent{Name: "thread_name", Ph: "M", PID: tracePID, TID: routerTID,
+			Args: map[string]any{"name": "router"}},
+	)
+	for _, im := range insts {
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", PID: tracePID, TID: int(im.ID) + 1,
+			Args: map[string]any{"name": fmt.Sprintf("%s#%d", im.Name, im.ID)},
+		})
+	}
+
+	for _, s := range spans {
+		events = append(events, spanEvent(s))
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// spanEvent maps one flight-recorder span onto a trace event.
+func spanEvent(s Span) traceEvent {
+	dur := usec(s.Dur)
+	switch s.Kind {
+	case KindSubmit:
+		return traceEvent{Name: "submit", Cat: "router", Ph: "i", S: "t",
+			TS: usec(s.Start), PID: tracePID, TID: routerTID,
+			Args: map[string]any{"req": s.ReqID, "class": s.Class.String(), "policy": s.Name}}
+	case KindRoute:
+		return traceEvent{Name: "route", Cat: "router", Ph: "i", S: "t",
+			TS: usec(s.Start), PID: tracePID, TID: routerTID,
+			Args: map[string]any{"req": s.ReqID, "class": s.Class.String(), "policy": s.Name,
+				"instance": s.Inst, "hit_tokens": s.A, "est_seconds": s.B}}
+	case KindReject:
+		return traceEvent{Name: "reject:" + s.Name, Cat: "router", Ph: "i", S: "t",
+			TS: usec(s.Start), PID: tracePID, TID: routerTID,
+			Args: map[string]any{"req": s.ReqID, "class": s.Class.String(),
+				"instance": s.Inst, "backlog_seconds": s.A, "bound_seconds": s.B}}
+	case KindQueue:
+		return traceEvent{Name: "queue", Cat: "request", Ph: "X",
+			TS: usec(s.Start), Dur: &dur, PID: tracePID, TID: int(s.Inst) + 1,
+			Args: map[string]any{"req": s.ReqID, "class": s.Class.String()}}
+	case KindExec:
+		return traceEvent{Name: "exec", Cat: "request", Ph: "X",
+			TS: usec(s.Start), Dur: &dur, PID: tracePID, TID: int(s.Inst) + 1,
+			Args: map[string]any{"req": s.ReqID, "class": s.Class.String(),
+				"cached_tokens": s.A, "est_seconds": s.B}}
+	case KindStage:
+		return traceEvent{Name: s.Name, Cat: "stage", Ph: "X",
+			TS: usec(s.Start), Dur: &dur, PID: tracePID, TID: int(s.Inst) + 1,
+			Args: map[string]any{"req": s.ReqID, "class": s.Class.String()}}
+	case KindColdStart:
+		return traceEvent{Name: s.Name, Cat: "pool", Ph: "X",
+			TS: usec(s.Start), Dur: &dur, PID: tracePID, TID: routerTID,
+			Args: map[string]any{"pool_size": s.A}}
+	case KindLoadGauge:
+		return traceEvent{Name: fmt.Sprintf("load/inst%d", s.Inst), Cat: "gauge", Ph: "C",
+			TS: usec(s.Start), PID: tracePID, TID: routerTID,
+			Args: map[string]any{"queued": s.A, "backlog_seconds": s.B}}
+	case KindCacheGauge:
+		return traceEvent{Name: fmt.Sprintf("cache/inst%d", s.Inst), Cat: "gauge", Ph: "C",
+			TS: usec(s.Start), PID: tracePID, TID: routerTID,
+			Args: map[string]any{"resident_blocks": s.A}}
+	case KindPoolGauge:
+		return traceEvent{Name: "pool", Cat: "gauge", Ph: "C",
+			TS: usec(s.Start), PID: tracePID, TID: routerTID,
+			Args: map[string]any{"size": s.A, "pending_cold_starts": s.B}}
+	}
+	return traceEvent{Name: "unknown", Ph: "i", TS: usec(s.Start), PID: tracePID, TID: routerTID}
+}

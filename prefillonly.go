@@ -26,6 +26,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/sched"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -70,6 +71,15 @@ type Arrival = workload.Arrival
 
 // LatencySummary holds order statistics of request latencies.
 type LatencySummary = metrics.Summary
+
+// TraceRecorder is the sim-time flight recorder
+// (SimulationConfig.TraceSpans, ServerConfig.TraceSpans): a bounded ring
+// of per-request lifecycle spans and fleet gauges. Its WriteTrace renders
+// Chrome trace-event JSON loadable in Perfetto or chrome://tracing.
+type TraceRecorder = trace.Recorder
+
+// TraceSpan is one flight-recorder record.
+type TraceSpan = trace.Span
 
 // Model presets (Table 3 of the paper).
 var (

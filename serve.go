@@ -9,6 +9,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/router"
 	"repro/internal/server"
+	"repro/internal/trace"
 )
 
 // ServerConfig configures NewServer. Zero values take the low-end paper
@@ -57,6 +58,11 @@ type ServerConfig struct {
 	// MinInstances is the elastic pool's floor (default 1). Requires
 	// Autoscale.
 	MinInstances int
+	// TraceSpans enables the sim-time flight recorder when non-zero: the
+	// ring keeps that many recent spans (negative = DefaultMaxSpans).
+	// The recorder feeds the /v1/trace endpoint (Perfetto-loadable
+	// Chrome trace JSON) and the trace families of /v1/metrics.
+	TraceSpans int
 }
 
 // Server is the OpenAI-compatible serving frontend over a PrefillOnly
@@ -87,6 +93,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		Model:         cfg.Model,
 		GPU:           cfg.GPU,
 		ProfileMaxLen: cfg.MaxInputLen,
+	}
+	if cfg.TraceSpans != 0 {
+		ecfg.Tracer = trace.New(cfg.TraceSpans)
 	}
 	opts := core.Options{Lambda: cfg.Lambda, ClassWeights: cfg.ClassWeights}
 	var b *server.Backend
@@ -130,8 +139,12 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 }
 
 // Handler returns the http.Handler exposing /v1/completions, /v1/models,
-// /v1/stats and /healthz.
+// /v1/stats, /v1/metrics, /v1/trace and /healthz.
 func (s *Server) Handler() http.Handler { return s.handler }
+
+// Trace returns the server's flight recorder (nil unless TraceSpans was
+// set).
+func (s *Server) Trace() *TraceRecorder { return s.backend.Trace() }
 
 // Stats returns the live cluster snapshot served at /v1/stats: router
 // per-instance loads, the admission tally, and the autoscaler's pool

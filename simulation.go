@@ -12,6 +12,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/tokenizer"
+	"repro/internal/trace"
 )
 
 // EngineName selects a serving engine implementation.
@@ -82,6 +83,14 @@ type SimulationConfig struct {
 	// cold-start delay derives from this config's Model and GPU unless
 	// set explicitly.
 	Autoscale *AutoscaleConfig
+	// TraceSpans enables the sim-time flight recorder when non-zero: the
+	// ring keeps that many recent spans (negative = DefaultMaxSpans).
+	// Read it back with Trace(); its WriteTrace exports Perfetto-loadable
+	// Chrome trace JSON. Disabled tracing costs nothing on the hot path.
+	TraceSpans int
+	// TraceSampleSeconds is the fleet-gauge sampling interval in sim
+	// seconds when tracing is enabled (default 0.5).
+	TraceSampleSeconds float64
 }
 
 // Simulation is a deterministic serving cluster on a virtual clock.
@@ -91,6 +100,8 @@ type Simulation struct {
 	cluster         *cluster.Cluster      // legacy §7.1 routing ("" policy)
 	router          *router.Router        // load/affinity routing (non-empty policy)
 	ctl             *autoscale.Controller // elastic pool (Autoscale config)
+	rec             *trace.Recorder       // flight recorder (TraceSpans config)
+	sampler         *trace.Sampler        // fleet-gauge ticks on the sim clock
 	tok             *tokenizer.Tokenizer
 	records         []Record
 	rejected        int
@@ -141,6 +152,14 @@ func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
 		return nil, fmt.Errorf("prefillonly: ClassWeights requires the %s engine", EnginePrefillOnly)
 	}
 	s := &Simulation{cfg: cfg, sim: &sim.Sim{}, tok: tokenizer.New()}
+	if cfg.TraceSpans != 0 {
+		s.rec = trace.New(cfg.TraceSpans)
+		interval := cfg.TraceSampleSeconds
+		if interval <= 0 {
+			interval = 0.5
+		}
+		s.sampler = trace.NewSampler(s.sim, interval, s.sampleGauges)
+	}
 
 	ecfg := engine.Config{
 		Model:          cfg.Model,
@@ -148,6 +167,7 @@ func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
 		Sim:            s.sim,
 		ProfileMaxLen:  cfg.MaxInputLen,
 		HostCacheBytes: cfg.HostCacheBytes,
+		Tracer:         s.rec,
 		OnComplete: func(r Record) {
 			if s.router != nil {
 				s.router.Completed(r)
@@ -205,6 +225,9 @@ func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
 		if acfg.GPU == nil {
 			acfg.GPU = cfg.GPU
 		}
+		if acfg.Tracer == nil {
+			acfg.Tracer = s.rec
+		}
 		initial = acfg.MinInstances
 		if initial <= 0 {
 			initial = 1
@@ -221,6 +244,7 @@ func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
 			Policy:              pol,
 			MaxBacklogSeconds:   cfg.MaxBacklogSeconds,
 			ClassBacklogSeconds: cfg.ClassBacklogSeconds,
+			Tracer:              s.rec,
 		}, instances...)
 		if err != nil {
 			return nil, err
@@ -249,6 +273,11 @@ func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
 // programming error (e.g. a policy picking an out-of-range instance) and
 // fails loudly rather than being miscounted as load shedding.
 func (s *Simulation) submit(r *Request) {
+	if s.sampler != nil {
+		// Re-arm the gauge sampler if it wound down after a previous Run
+		// drained the event queue (same discipline as the autoscaler).
+		s.sampler.Start()
+	}
 	if s.router != nil {
 		if s.ctl != nil {
 			// Revive the controller's tick loop if it wound down after a
@@ -328,6 +357,29 @@ func (s *Simulation) RejectedClass(c Class) int {
 	}
 	return s.rejectedByClass[c]
 }
+
+// sampleGauges is the trace sampler's tick: per-instance load gauges (in
+// routed mode, where the router prices backlog), cache residency per
+// engine, and the pool size.
+func (s *Simulation) sampleGauges(now float64) {
+	if s.router != nil {
+		for _, info := range s.router.InstanceInfos() {
+			s.rec.LoadGauge(now, info.ID, info.Load.QueuedRequests, info.Load.BacklogSeconds)
+		}
+		pending := 0
+		if s.ctl != nil {
+			pending = s.ctl.Size() - s.router.Routable()
+		}
+		s.rec.PoolGauge(now, s.router.Routable(), pending)
+	} else {
+		s.rec.PoolGauge(now, len(s.instances), 0)
+	}
+	s.rec.SampleCaches(now)
+}
+
+// Trace returns the flight recorder (nil unless TraceSpans was set). Its
+// WriteTrace exports the run as Chrome trace-event JSON for Perfetto.
+func (s *Simulation) Trace() *trace.Recorder { return s.rec }
 
 // Router returns the routing frontend (nil when the legacy §7.1 cluster is
 // active).

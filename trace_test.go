@@ -1,0 +1,202 @@
+package prefillonly
+
+// Flight-recorder integration tests: a traced routing run must attribute
+// every request's JCT exactly across its queue and exec spans, export
+// Perfetto-loadable JSON, and — the observability bargain — change nothing
+// about the simulation it observes.
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func tracedRoutedRun(t *testing.T, spans int) (*Simulation, []Record) {
+	t.Helper()
+	sim, err := NewSimulation(SimulationConfig{
+		RoutingPolicy: "affinity",
+		MaxInputLen:   18000,
+		TraceSpans:    spans,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := NewPostRecommendation(PostRecommendationConfig{Users: 4, PostsPerUser: 8, Seed: 21})
+	if err := sim.SubmitDataset(ds, 8, 5); err != nil {
+		t.Fatal(err)
+	}
+	return sim, sim.Run()
+}
+
+// TestTraceAttributionMatchesJCT is the acceptance check: for every
+// completed request — the p99 tail request in particular — the queue span
+// plus the exec span must sum to the recorded JCT within float tolerance,
+// with the exec span ending at the completion instant. A request's time is
+// fully accounted; nothing leaks between spans.
+func TestTraceAttributionMatchesJCT(t *testing.T) {
+	sim, recs := tracedRoutedRun(t, -1)
+	rec := sim.Trace()
+	if rec == nil {
+		t.Fatal("TraceSpans set but Trace() is nil")
+	}
+	type attributed struct{ queue, exec, execEnd float64 }
+	byReq := make(map[int64]*attributed)
+	for _, s := range rec.Spans() {
+		a := byReq[s.ReqID]
+		if a == nil {
+			a = &attributed{}
+			byReq[s.ReqID] = a
+		}
+		switch s.Kind {
+		case trace.KindQueue:
+			a.queue += s.Dur
+		case trace.KindExec:
+			a.exec += s.Dur
+			a.execEnd = s.End()
+		}
+	}
+	var tail Record
+	for _, r := range recs {
+		if r.Latency() > tail.Latency() {
+			tail = r
+		}
+	}
+	checked := 0
+	for _, r := range recs {
+		a := byReq[r.Req.ID]
+		if a == nil || a.exec == 0 {
+			t.Fatalf("request %d completed with no exec span", r.Req.ID)
+		}
+		if sum := a.queue + a.exec; math.Abs(sum-r.Latency()) > 1e-9 {
+			t.Fatalf("request %d: queue %.9gs + exec %.9gs = %.9gs != JCT %.9gs",
+				r.Req.ID, a.queue, a.exec, sum, r.Latency())
+		}
+		if math.Abs(a.execEnd-r.Finish) > 1e-9 {
+			t.Fatalf("request %d: exec ends at %.9g, completed at %.9g", r.Req.ID, a.execEnd, r.Finish)
+		}
+		checked++
+	}
+	if checked != len(recs) || checked == 0 {
+		t.Fatalf("attributed %d of %d requests", checked, len(recs))
+	}
+	if a := byReq[tail.Req.ID]; math.Abs(a.queue+a.exec-tail.Latency()) > 1e-9 {
+		t.Fatalf("tail request %d not fully attributed", tail.Req.ID)
+	}
+	// The sampler must have emitted fleet gauges on sim ticks.
+	if rec.Emitted(trace.KindLoadGauge) == 0 || rec.Emitted(trace.KindCacheGauge) == 0 {
+		t.Fatal("no gauge samples: the trace sampler never ticked")
+	}
+}
+
+// TestTraceExportWellFormed renders the traced run as Chrome trace JSON
+// and checks it parses with spans present — what Perfetto will load.
+func TestTraceExportWellFormed(t *testing.T) {
+	sim, _ := tracedRoutedRun(t, -1)
+	var buf bytes.Buffer
+	if err := sim.Trace().WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	spans := 0
+	for _, ev := range file.TraceEvents {
+		if ev.Ph == "X" {
+			spans++
+		}
+	}
+	if spans == 0 {
+		t.Fatal("exported trace has no complete spans")
+	}
+}
+
+// TestTracingDoesNotPerturbSimulation runs the same workload with and
+// without the recorder: latencies must be bit-identical. Observability
+// must observe, not steer.
+func TestTracingDoesNotPerturbSimulation(t *testing.T) {
+	_, plain := tracedRoutedRun(t, 0)
+	_, traced := tracedRoutedRun(t, -1)
+	if len(plain) != len(traced) {
+		t.Fatalf("completion counts differ: %d vs %d", len(plain), len(traced))
+	}
+	for i := range plain {
+		if plain[i].Latency() != traced[i].Latency() || plain[i].Req.ID != traced[i].Req.ID {
+			t.Fatalf("record %d diverged under tracing: %+v vs %+v", i, plain[i], traced[i])
+		}
+	}
+}
+
+// TestTracePipelineStages checks pass-stage attribution on the
+// pipeline-parallel engine: stage spans nest inside their exec span and
+// tile it exactly (stage0 + handoff wait + stage1 = the whole pass).
+func TestTracePipelineStages(t *testing.T) {
+	sim, err := NewSimulation(SimulationConfig{
+		Engine:      EnginePipelineParallel,
+		GPUs:        2,
+		MaxInputLen: 18000,
+		TraceSpans:  -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := NewPostRecommendation(PostRecommendationConfig{Users: 3, PostsPerUser: 4, Seed: 9})
+	if err := sim.SubmitDataset(ds, 6, 3); err != nil {
+		t.Fatal(err)
+	}
+	recs := sim.Run()
+	type passParts struct {
+		exec, stages  float64
+		start, end    float64
+		stageInbounds bool
+	}
+	byReq := make(map[int64]*passParts)
+	for _, s := range sim.Trace().Spans() {
+		p := byReq[s.ReqID]
+		if p == nil {
+			p = &passParts{stageInbounds: true}
+			byReq[s.ReqID] = p
+		}
+		switch s.Kind {
+		case trace.KindExec:
+			p.exec = s.Dur
+			p.start, p.end = s.Start, s.End()
+		case trace.KindStage:
+			p.stages += s.Dur
+		}
+	}
+	// Second pass for nesting (exec span may arrive after stages in the
+	// ring — finish emits it last).
+	for _, s := range sim.Trace().Spans() {
+		if s.Kind != trace.KindStage {
+			continue
+		}
+		p := byReq[s.ReqID]
+		if s.Start < p.start-1e-9 || s.End() > p.end+1e-9 {
+			p.stageInbounds = false
+		}
+	}
+	for _, r := range recs {
+		p := byReq[r.Req.ID]
+		if p == nil || p.exec == 0 {
+			t.Fatalf("request %d has no exec span", r.Req.ID)
+		}
+		if p.stages == 0 {
+			t.Fatalf("request %d has no pass-stage spans", r.Req.ID)
+		}
+		if math.Abs(p.stages-p.exec) > 1e-9 {
+			t.Fatalf("request %d: stages sum %.9g != exec %.9g", r.Req.ID, p.stages, p.exec)
+		}
+		if !p.stageInbounds {
+			t.Fatalf("request %d: stage span escapes its exec span", r.Req.ID)
+		}
+	}
+}
