@@ -5,7 +5,7 @@
 //
 //	prefillbench -exp table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|sec2.3|sec6.3|routing|autoscale|slo|kernel|all
 //	             [-scenario L4|A100|H100|H100-NVLink] [-dataset post|credit]
-//	             [-seed N] [-small] [-parallel N] [-json FILE] [-trace FILE]
+//	             [-seed N] [-small] [-parallel N] [-shards N] [-json FILE] [-trace FILE]
 //
 // fig6/fig7 honour -scenario and -dataset to render a single panel
 // (the full grid is expensive); "all" runs everything cheap plus one panel.
@@ -15,6 +15,17 @@
 // executor). Cell results are aggregated in index order and every cell is
 // self-contained, so output rows are byte-identical at any parallelism —
 // only the wall clock changes.
+//
+// -shards N runs each routing/autoscale/slo cell on the sharded event
+// kernel with N shard workers (default 1, the serial kernel; results are
+// identical either way — the serial-vs-sharded oracle below enforces it).
+// For -exp kernel, N extends the shard-scaling sweep beyond its default
+// 1/2/4/8 shard counts. -exp all accepts -shards like any single
+// experiment and applies it to the sweeps that honour it.
+//
+// -compare-unsharded reruns the sweep on the serial kernel and fails
+// unless rows are byte-identical; the measured comparison lands in the
+// JSON as "shard_comparison" (routing, autoscale, slo, all).
 //
 // routing additionally honours -trace FILE: after the sweep it executes one
 // dedicated instrumented run with the flight recorder attached and writes
@@ -55,23 +66,31 @@ func main() {
 		"write a Perfetto-loadable Chrome trace of one instrumented routing run (routing only)")
 	compare := flag.Bool("compare-serial", false,
 		"run the sweep twice (serial then -parallel) and record the measured wall-clock speedup; fails unless rows are byte-identical (routing, autoscale, slo)")
+	shards := flag.Int("shards", 1,
+		"event-kernel shards per run (1 = serial kernel; routing, autoscale, slo, kernel — rows are identical at any count)")
+	compareUnsharded := flag.Bool("compare-unsharded", false,
+		"rerun the sweep on the serial kernel and fail unless rows are byte-identical to the -shards run (routing, autoscale, slo)")
 	flag.Parse()
 
-	if err := run(*exp, *scenario, *dataset, *seed, *small, *parallel, *jsonPath, *tracePath, *compare); err != nil {
+	if err := run(*exp, *scenario, *dataset, *seed, *small, *parallel, *shards, *jsonPath, *tracePath, *compare, *compareUnsharded); err != nil {
 		fmt.Fprintln(os.Stderr, "prefillbench:", err)
 		os.Exit(1)
 	}
 }
 
-// jsonExps and compareExps are the experiments that honour -json and
-// -compare-serial; anything else rejects the flag instead of silently
-// dropping it (a CI step would otherwise record no artifact and exit 0).
+// jsonExps, compareExps and shardExps are the experiments that honour
+// -json, -compare-serial/-compare-unsharded and -shards; anything else
+// rejects the flag instead of silently dropping it (a CI step would
+// otherwise record no artifact and exit 0). "all" accepts every flag the
+// experiments it contains accept and applies each to the ones that
+// honour it.
 var (
 	jsonExps    = map[string]bool{"routing": true, "autoscale": true, "slo": true, "kernel": true}
 	compareExps = map[string]bool{"routing": true, "autoscale": true, "slo": true, "all": true}
+	shardExps   = map[string]bool{"routing": true, "autoscale": true, "slo": true, "kernel": true, "all": true}
 )
 
-func run(exp, scenario, dataset string, seed int64, small bool, parallel int, jsonPath, tracePath string, compare bool) error {
+func run(exp, scenario, dataset string, seed int64, small bool, parallel, shards int, jsonPath, tracePath string, compare, compareUnsharded bool) error {
 	if jsonPath != "" && !jsonExps[exp] {
 		return fmt.Errorf("-json is not supported by -exp %s (use routing, autoscale, slo or kernel)", exp)
 	}
@@ -80,6 +99,15 @@ func run(exp, scenario, dataset string, seed int64, small bool, parallel int, js
 	}
 	if compare && !compareExps[exp] {
 		return fmt.Errorf("-compare-serial is not supported by -exp %s (use routing, autoscale or slo)", exp)
+	}
+	if shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", shards)
+	}
+	if shards > 1 && !shardExps[exp] {
+		return fmt.Errorf("-shards is not supported by -exp %s (use routing, autoscale, slo or kernel)", exp)
+	}
+	if compareUnsharded && !compareExps[exp] {
+		return fmt.Errorf("-compare-unsharded is not supported by -exp %s (use routing, autoscale or slo)", exp)
 	}
 	switch exp {
 	case "table1":
@@ -109,29 +137,29 @@ func run(exp, scenario, dataset string, seed int64, small bool, parallel int, js
 	case "sec6.3":
 		return sec63()
 	case "routing":
-		return routing(seed, small, parallel, jsonPath, tracePath, compare)
+		return routing(seed, small, parallel, shards, jsonPath, tracePath, compare, compareUnsharded)
 	case "autoscale":
-		return autoscaleExp(seed, small, parallel, jsonPath, compare)
+		return autoscaleExp(seed, small, parallel, shards, jsonPath, compare, compareUnsharded)
 	case "slo":
-		return sloExp(seed, small, parallel, jsonPath, compare)
+		return sloExp(seed, small, parallel, shards, jsonPath, compare, compareUnsharded)
 	case "kernel":
-		return kernelExp(small, jsonPath)
+		return kernelExp(small, shards, jsonPath)
 	case "all":
 		for _, e := range []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig10", "sec2.3", "sec6.3"} {
-			if err := run(e, scenario, dataset, seed, small, parallel, "", "", false); err != nil {
+			if err := run(e, scenario, dataset, seed, small, parallel, 1, "", "", false, false); err != nil {
 				return err
 			}
 		}
-		if err := routing(seed, true, parallel, "", "", compare); err != nil {
+		if err := routing(seed, true, parallel, shards, "", "", compare, compareUnsharded); err != nil {
 			return err
 		}
-		if err := autoscaleExp(seed, true, parallel, "", compare); err != nil {
+		if err := autoscaleExp(seed, true, parallel, shards, "", compare, compareUnsharded); err != nil {
 			return err
 		}
-		if err := sloExp(seed, true, parallel, "", compare); err != nil {
+		if err := sloExp(seed, true, parallel, shards, "", compare, compareUnsharded); err != nil {
 			return err
 		}
-		if err := kernelExp(true, ""); err != nil {
+		if err := kernelExp(true, shards, ""); err != nil {
 			return err
 		}
 		return figQPS("fig6", scenario, dataset, seed, true, parallel)
@@ -160,6 +188,7 @@ type benchEnvelope struct {
 	Rows             any                   `json:"rows"`
 	Executor         experiments.CellStats `json:"executor"`
 	SerialComparison *serialComparison     `json:"serial_comparison,omitempty"`
+	ShardComparison  *shardComparison      `json:"shard_comparison,omitempty"`
 }
 
 // serialComparison is a measured (not estimated) speedup: the same sweep
@@ -208,6 +237,55 @@ func compareSerial[T any](parRows []T, parStats experiments.CellStats,
 	}
 	fmt.Printf("serial comparison: serial %.2fs vs parallel %.2fs at x%d workers (%d CPUs) = %.2fx, rows byte-identical\n",
 		cmp.SerialWallSeconds, cmp.ParallelWallSeconds, cmp.Parallelism, cmp.HostCPUs, cmp.MeasuredSpeedup)
+	return cmp, nil
+}
+
+// shardComparison is the serial-vs-sharded kernel oracle, measured: the
+// same sweep executed once on the sharded kernel and once on the serial
+// kernel. Rows must be byte-identical — prefillbench fails otherwise, so
+// the CI smoke step enforces the sharded kernel's determinism contract on
+// every run it benchmarks.
+type shardComparison struct {
+	Shards             int     `json:"shards"`
+	HostCPUs           int     `json:"host_cpus"`
+	ShardedWallSeconds float64 `json:"sharded_wall_seconds"`
+	SerialWallSeconds  float64 `json:"serial_wall_seconds"`
+	MeasuredSpeedup    float64 `json:"measured_speedup"`
+	RowsByteIdentical  bool    `json:"rows_byte_identical"`
+}
+
+// compareUnsharded reruns a sweep on the serial kernel against
+// already-obtained sharded results: it checks row-level byte identity and
+// returns the measured wall-clock comparison.
+func compareUnsharded[T any](shardedRows []T, shardedStats experiments.CellStats, shards int,
+	runSerial func() ([]T, experiments.CellStats, error)) (*shardComparison, error) {
+	serialRows, serialStats, err := runSerial()
+	if err != nil {
+		return nil, fmt.Errorf("unsharded comparison run: %w", err)
+	}
+	a, err := json.Marshal(serialRows)
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(shardedRows)
+	if err != nil {
+		return nil, err
+	}
+	cmp := &shardComparison{
+		Shards:             shards,
+		HostCPUs:           shardedStats.HostCPUs,
+		ShardedWallSeconds: shardedStats.WallSeconds,
+		SerialWallSeconds:  serialStats.WallSeconds,
+		RowsByteIdentical:  string(a) == string(b),
+	}
+	if cmp.ShardedWallSeconds > 0 {
+		cmp.MeasuredSpeedup = cmp.SerialWallSeconds / cmp.ShardedWallSeconds
+	}
+	if !cmp.RowsByteIdentical {
+		return cmp, fmt.Errorf("determinism violation: sharded kernel rows diverge from serial kernel rows")
+	}
+	fmt.Printf("shard comparison: serial kernel %.2fs vs %d shards %.2fs (%d CPUs) = %.2fx, rows byte-identical\n",
+		cmp.SerialWallSeconds, cmp.Shards, cmp.ShardedWallSeconds, cmp.HostCPUs, cmp.MeasuredSpeedup)
 	return cmp, nil
 }
 
@@ -414,15 +492,24 @@ func fig11(seed int64, parallel int) error {
 	return nil
 }
 
-func routing(seed int64, small bool, parallel int, jsonPath, tracePath string, compare bool) error {
-	rows, stats, err := experiments.RoutingSweepParallel(seed, small, parallel)
+func routing(seed int64, small bool, parallel, shards int, jsonPath, tracePath string, compare, cmpUnsharded bool) error {
+	rows, stats, err := experiments.RoutingSweepParallel(seed, small, parallel, shards)
 	if err != nil {
 		return err
 	}
 	var cmp *serialComparison
 	if compare {
 		cmp, err = compareSerial(rows, stats, func() ([]experiments.RoutingSweepRow, experiments.CellStats, error) {
-			return experiments.RoutingSweepParallel(seed, small, 1)
+			return experiments.RoutingSweepParallel(seed, small, 1, shards)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	var shardCmp *shardComparison
+	if cmpUnsharded {
+		shardCmp, err = compareUnsharded(rows, stats, shards, func() ([]experiments.RoutingSweepRow, experiments.CellStats, error) {
+			return experiments.RoutingSweepParallel(seed, small, parallel, 1)
 		})
 		if err != nil {
 			return err
@@ -439,7 +526,7 @@ func routing(seed int64, small bool, parallel int, jsonPath, tracePath string, c
 	}
 	printExecutor(stats)
 	if jsonPath != "" {
-		if err := writeJSON(jsonPath, benchEnvelope{Rows: rows, Executor: stats, SerialComparison: cmp}); err != nil {
+		if err := writeJSON(jsonPath, benchEnvelope{Rows: rows, Executor: stats, SerialComparison: cmp, ShardComparison: shardCmp}); err != nil {
 			return err
 		}
 	}
@@ -486,15 +573,24 @@ func writeRoutingTrace(path string, seed int64, small bool) error {
 	return nil
 }
 
-func autoscaleExp(seed int64, small bool, parallel int, jsonPath string, compare bool) error {
-	rows, stats, err := experiments.AutoscaleSweepParallel(seed, small, parallel)
+func autoscaleExp(seed int64, small bool, parallel, shards int, jsonPath string, compare, cmpUnsharded bool) error {
+	rows, stats, err := experiments.AutoscaleSweepParallel(seed, small, parallel, shards)
 	if err != nil {
 		return err
 	}
 	var cmp *serialComparison
 	if compare {
 		cmp, err = compareSerial(rows, stats, func() ([]experiments.AutoscaleSweepRow, experiments.CellStats, error) {
-			return experiments.AutoscaleSweepParallel(seed, small, 1)
+			return experiments.AutoscaleSweepParallel(seed, small, 1, shards)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	var shardCmp *shardComparison
+	if cmpUnsharded {
+		shardCmp, err = compareUnsharded(rows, stats, shards, func() ([]experiments.AutoscaleSweepRow, experiments.CellStats, error) {
+			return experiments.AutoscaleSweepParallel(seed, small, parallel, 1)
 		})
 		if err != nil {
 			return err
@@ -512,20 +608,29 @@ func autoscaleExp(seed int64, small bool, parallel int, jsonPath string, compare
 	}
 	printExecutor(stats)
 	if jsonPath != "" {
-		return writeJSON(jsonPath, benchEnvelope{Rows: rows, Executor: stats, SerialComparison: cmp})
+		return writeJSON(jsonPath, benchEnvelope{Rows: rows, Executor: stats, SerialComparison: cmp, ShardComparison: shardCmp})
 	}
 	return nil
 }
 
-func sloExp(seed int64, small bool, parallel int, jsonPath string, compare bool) error {
-	rows, stats, err := experiments.SLOSweepParallel(seed, small, parallel)
+func sloExp(seed int64, small bool, parallel, shards int, jsonPath string, compare, cmpUnsharded bool) error {
+	rows, stats, err := experiments.SLOSweepParallel(seed, small, parallel, shards)
 	if err != nil {
 		return err
 	}
 	var cmp *serialComparison
 	if compare {
 		cmp, err = compareSerial(rows, stats, func() ([]experiments.SLOSweepRow, experiments.CellStats, error) {
-			return experiments.SLOSweepParallel(seed, small, 1)
+			return experiments.SLOSweepParallel(seed, small, 1, shards)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	var shardCmp *shardComparison
+	if cmpUnsharded {
+		shardCmp, err = compareUnsharded(rows, stats, shards, func() ([]experiments.SLOSweepRow, experiments.CellStats, error) {
+			return experiments.SLOSweepParallel(seed, small, parallel, 1)
 		})
 		if err != nil {
 			return err
@@ -543,25 +648,44 @@ func sloExp(seed int64, small bool, parallel int, jsonPath string, compare bool)
 	}
 	printExecutor(stats)
 	if jsonPath != "" {
-		return writeJSON(jsonPath, benchEnvelope{Rows: rows, Executor: stats, SerialComparison: cmp})
+		return writeJSON(jsonPath, benchEnvelope{Rows: rows, Executor: stats, SerialComparison: cmp, ShardComparison: shardCmp})
 	}
 	return nil
 }
 
-func kernelExp(small bool, jsonPath string) error {
+func kernelExp(small bool, shards int, jsonPath string) error {
 	events := 4_000_000
 	if small {
 		events = 1_000_000
 	}
-	res, err := experiments.KernelBench(events)
+	counts := []int{1, 2, 4, 8}
+	if shards > 1 {
+		found := false
+		for _, c := range counts {
+			found = found || c == shards
+		}
+		if !found {
+			counts = append(counts, shards)
+		}
+	}
+	res, err := experiments.KernelBench(events, counts)
 	if err != nil {
 		return err
 	}
-	w := header(fmt.Sprintf("Kernel: sim event throughput, %d events at depth %d", res.Events, res.Depth))
+	w := header(fmt.Sprintf("Kernel: sim event throughput, %d events at depth %d (%d CPUs, %s)",
+		res.Events, res.Depth, res.HostCPUs, res.GoVersion))
 	fmt.Fprintln(w, "path\tevents/sec\tallocs/event")
 	fmt.Fprintf(w, "closure (pre-refactor idiom)\t%.0f\t%.2f\n", res.ClosureEventsPerSec, res.ClosureAllocsPerEvent)
 	fmt.Fprintf(w, "fast path (AtFunc/AfterFunc)\t%.0f\t%.2f\n", res.FastPathEventsPerSec, res.FastPathAllocsPerEvent)
 	fmt.Fprintf(w, "speedup\t%.2fx\t\n", res.FastPathSpeedup)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	w = header(fmt.Sprintf("Kernel: shard scaling, %d chains x %d events", res.ShardChains, res.ShardEvents))
+	fmt.Fprintln(w, "shards\tevents/sec\tspeedup vs serial\tallocs/event")
+	for _, r := range res.ShardScaling {
+		fmt.Fprintf(w, "%d\t%.0f\t%.2fx\t%.2f\n", r.Shards, r.EventsPerSec, r.Speedup, r.AllocsPerEvent)
+	}
 	if err := w.Flush(); err != nil {
 		return err
 	}

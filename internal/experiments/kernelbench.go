@@ -34,6 +34,28 @@ type KernelBenchResult struct {
 	FastPathAllocsPerEvent float64 `json:"fastpath_allocs_per_event"`
 	// FastPathSpeedup is FastPathEventsPerSec / ClosureEventsPerSec.
 	FastPathSpeedup float64 `json:"fastpath_speedup"`
+	// HostCPUs and GoVersion record the measurement host: shard scaling
+	// (and absolute throughput) are functions of the core count and
+	// toolchain, so the committed artifact carries its provenance.
+	HostCPUs  int    `json:"host_cpus"`
+	GoVersion string `json:"go_version"`
+	// ShardChains and ShardEvents size the shard-scaling workload: chains
+	// of self-rescheduling instance-local events with a low cross-shard
+	// post rate, the sharded kernel's target regime.
+	ShardChains int `json:"shard_chains"`
+	ShardEvents int `json:"shard_events"`
+	// ShardScaling measures the same chain population per shard count;
+	// the shards=1 row is the serial kernel (the baseline every speedup
+	// is against).
+	ShardScaling []KernelShardRow `json:"shard_scaling"`
+}
+
+// KernelShardRow is one shard count's throughput on the scaling workload.
+type KernelShardRow struct {
+	Shards         int     `json:"shards"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	Speedup        float64 `json:"speedup_vs_serial"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
 }
 
 // kernelChain is the fast-path payload: each firing reschedules itself,
@@ -68,10 +90,92 @@ func kernelMeasure(events int, run func()) (float64, float64) {
 	return eps, float64(m1.Mallocs-m0.Mallocs) / float64(events)
 }
 
+// Shard-scaling workload constants: a fleet-sized population of
+// instance-local chains (each models one engine's pass/dispatch stream)
+// with one cross-shard post per shardPostEvery firings (the router/
+// autoscale interaction rate — low, so conservative windows stay large).
+const (
+	shardChains    = 1024
+	shardPostEvery = 1024
+	shardLookahead = 1.0
+)
+
+// shardChain is one instance-local event stream of the scaling workload.
+// Chains reschedule on their own shard clock with a golden-ratio-staggered
+// period >= the lookahead, so shards execute large windows between
+// barriers.
+type shardChain struct {
+	clock     sim.Clock
+	post      func(t float64, fn sim.Func, arg any)
+	dt        float64
+	remaining int
+	sincePost int
+}
+
+func shardChainStep(arg any) {
+	c := arg.(*shardChain)
+	if c.remaining <= 0 {
+		return
+	}
+	c.remaining--
+	c.sincePost++
+	if c.sincePost >= shardPostEvery {
+		c.sincePost = 0
+		// Cross-shard work: a coordinator event outside the lookahead
+		// window, the way engines hand completions to the router.
+		c.post(c.clock.Now()+2*shardLookahead, shardCoordTick, nil)
+	}
+	c.clock.AfterFunc(c.dt, shardChainStep, c)
+}
+
+func shardCoordTick(any) {}
+
+// shardMeasure runs one shard-scaling cell and returns (events/sec,
+// allocs/event) with the event count reported by the kernel itself.
+func shardMeasure(run func() uint64) (float64, float64) {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	n := run()
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&m1)
+	eps := 0.0
+	if wall > 0 && n > 0 {
+		eps = float64(n) / wall
+	}
+	if n == 0 {
+		return eps, 0
+	}
+	return eps, float64(m1.Mallocs-m0.Mallocs) / float64(n)
+}
+
+// shardWorkload populates clocks with the chain population. clockFor maps
+// a chain index to its shard clock (constant in serial mode); postFor maps
+// it to its cross-shard scheduling primitive (Shard.Post in sharded mode —
+// the only coordinator-scheduling call legal from a shard worker).
+func shardWorkload(steps int, clockFor func(i int) sim.Clock, postFor func(i int) func(t float64, fn sim.Func, arg any)) {
+	const phi = 0.6180339887498949
+	for i := 0; i < shardChains; i++ {
+		fi := float64(i)
+		c := &shardChain{
+			clock:     clockFor(i),
+			post:      postFor(i),
+			dt:        shardLookahead * (1 + mod1(fi*phi)/2),
+			remaining: steps - 1,
+		}
+		c.clock.AtFunc(mod1(fi*phi*phi)*shardLookahead, shardChainStep, c)
+	}
+}
+
+// mod1 returns the fractional part of x.
+func mod1(x float64) float64 { return x - float64(int(x)) }
+
 // KernelBench measures the sim kernel's event throughput over roughly the
 // given number of events (split across a depth-64 self-rescheduling
-// population) on both scheduling paths.
-func KernelBench(events int) (*KernelBenchResult, error) {
+// population) on both scheduling paths, then the sharded kernel's scaling
+// over the given shard counts (1 = the serial kernel baseline).
+func KernelBench(events int, shardCounts []int) (*KernelBenchResult, error) {
 	const depth = 64
 	if events < depth {
 		return nil, fmt.Errorf("experiments: kernel bench needs >= %d events, got %d", depth, events)
@@ -110,6 +214,51 @@ func KernelBench(events int) (*KernelBenchResult, error) {
 
 	if res.ClosureEventsPerSec > 0 {
 		res.FastPathSpeedup = res.FastPathEventsPerSec / res.ClosureEventsPerSec
+	}
+
+	// Shard scaling: the same fleet-shaped chain population per shard
+	// count. Chains round-robin onto shards exactly as engine instances do.
+	res.HostCPUs = runtime.NumCPU()
+	res.GoVersion = runtime.Version()
+	steps := events / shardChains
+	if steps < 2 {
+		steps = 2
+	}
+	res.ShardChains = shardChains
+	res.ShardEvents = steps * shardChains
+	var serialEPS float64
+	for _, n := range shardCounts {
+		if n < 1 {
+			return nil, fmt.Errorf("experiments: shard count must be >= 1, got %d", n)
+		}
+		var eps, ape float64
+		if n == 1 {
+			eps, ape = shardMeasure(func() uint64 {
+				var s sim.Sim
+				shardWorkload(steps,
+					func(int) sim.Clock { return &s },
+					func(int) func(float64, sim.Func, any) { return s.AtFunc })
+				s.Run()
+				return s.Executed()
+			})
+		} else {
+			eps, ape = shardMeasure(func() uint64 {
+				p := sim.NewSharded(n, shardLookahead)
+				shardWorkload(steps,
+					func(i int) sim.Clock { return p.Shard(i % n) },
+					func(i int) func(float64, sim.Func, any) { return p.Shard(i % n).Post })
+				p.Run()
+				return p.Executed()
+			})
+		}
+		if n == 1 {
+			serialEPS = eps
+		}
+		row := KernelShardRow{Shards: n, EventsPerSec: eps, AllocsPerEvent: ape}
+		if serialEPS > 0 {
+			row.Speedup = eps / serialEPS
+		}
+		res.ShardScaling = append(res.ShardScaling, row)
 	}
 	return res, nil
 }

@@ -10,7 +10,6 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/router"
 	"repro/internal/sched"
-	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -67,6 +66,9 @@ type RoutingRunConfig struct {
 	// gauges into the flight recorder (export with WriteTrace). The sweep
 	// paths leave it nil so their cells stay deterministic and lean.
 	Tracer *trace.Recorder
+	// Shards selects the event kernel: <= 1 serial, >= 2 the sharded
+	// kernel with that many workers. Results are identical either way.
+	Shards int
 }
 
 // RoutingRunResult aggregates one routed run.
@@ -114,26 +116,31 @@ func RoutingRunPolicy(rc RoutingRunConfig, pol router.Policy) (*RoutingRunResult
 	if instances <= 0 {
 		instances = 4
 	}
-	var s sim.Sim
+	kern := engine.NewKernel(rc.Shards, engine.MinEventSeconds(rc.Scenario.Model, rc.Scenario.GPU))
 	var recs []engine.Record
 	var rt *router.Router
 	profLen := (rc.Dataset.MaxLen/1000 + 1) * 1000
 	cfg := engine.Config{
 		Model:         rc.Scenario.Model,
 		GPU:           rc.Scenario.GPU,
-		Sim:           &s,
 		ProfileMaxLen: profLen,
 		Tracer:        rc.Tracer,
-		OnComplete: func(r engine.Record) {
-			if rt != nil {
-				rt.Completed(r)
-			}
-			recs = append(recs, r)
-		},
 	}
+	// Router accounting and the record slice are shared state: completions
+	// flow through the kernel's merged sinks so the sharded kernel applies
+	// them in the serial kernel's global finish order.
+	sinkFor := kern.CompletionSinks(func(r engine.Record) {
+		if rt != nil {
+			rt.Completed(r)
+		}
+		recs = append(recs, r)
+	})
 	engines := make([]engine.Engine, instances)
 	for i := range engines {
-		e, err := core.New(cfg, core.Options{Lambda: rc.Lambda})
+		c := cfg
+		c.Sim = kern.InstanceClock(i)
+		c.OnComplete = sinkFor(i)
+		e, err := core.New(c, core.Options{Lambda: rc.Lambda})
 		if err != nil {
 			return nil, err
 		}
@@ -168,14 +175,15 @@ func RoutingRunPolicy(rc RoutingRunConfig, pol router.Policy) (*RoutingRunResult
 			submitErr = err
 		}
 	}
-	if err := scheduleArrivals(&s, rc.Dataset, rc.QPS, rc.Seed, submit); err != nil {
+	if err := scheduleArrivals(kern.Clock(), rc.Dataset, rc.QPS, rc.Seed, submit); err != nil {
 		return nil, err
 	}
 	if rc.Tracer != nil {
 		// Fleet gauges on sim ticks: router loads, pool size, cache
 		// residency. Armed after arrivals are scheduled so the sampler's
-		// drain discipline (stop when no other events remain) holds.
-		trace.NewSampler(&s, 0.5, func(now float64) {
+		// drain discipline (stop when no other events remain) holds. The
+		// sampler reads fleet-wide state, so it ticks on the coordinator.
+		trace.NewSampler(kern.Clock(), 0.5, func(now float64) {
 			for _, info := range rt.InstanceInfos() {
 				rc.Tracer.LoadGauge(now, info.ID, info.Load.QueuedRequests, info.Load.BacklogSeconds)
 			}
@@ -183,7 +191,7 @@ func RoutingRunPolicy(rc RoutingRunConfig, pol router.Policy) (*RoutingRunResult
 			rc.Tracer.SampleCaches(now)
 		}).Start()
 	}
-	s.Run()
+	kern.Run()
 
 	if submitErr != nil {
 		return nil, submitErr
@@ -261,15 +269,17 @@ func RoutingDatasets(seed int64, small bool) []*workload.Dataset {
 // near the cluster's aggregate saturation so queues form and routing
 // decisions matter. Serial convenience wrapper around RoutingSweepParallel.
 func RoutingSweep(seed int64, small bool) ([]RoutingSweepRow, error) {
-	rows, _, err := RoutingSweepParallel(seed, small, 1)
+	rows, _, err := RoutingSweepParallel(seed, small, 1, 1)
 	return rows, err
 }
 
 // RoutingSweepParallel is RoutingSweep fanned across the cell executor:
 // phase 1 measures each dataset's saturation throughput, phase 2 runs the
 // (dataset, policy) grid. Every cell takes its own clone of the immutable
-// base dataset, so rows are byte-identical at any parallelism.
-func RoutingSweepParallel(seed int64, small bool, parallel int) ([]RoutingSweepRow, CellStats, error) {
+// base dataset, so rows are byte-identical at any parallelism — and at any
+// shard count: shards picks each cell's event kernel (two orthogonal axes
+// of parallelism: cells across experiment points, shards within one run).
+func RoutingSweepParallel(seed int64, small bool, parallel, shards int) ([]RoutingSweepRow, CellStats, error) {
 	sc, err := ScenarioByName("L4")
 	if err != nil {
 		return nil, CellStats{}, err
@@ -306,6 +316,7 @@ func RoutingSweepParallel(seed int64, small bool, parallel int) ([]RoutingSweepR
 		res, err := RoutingRun(RoutingRunConfig{
 			Policy: pols[c.pi], Scenario: sc, Dataset: ds,
 			QPS: qpsFor[c.di], Seed: seed, Instances: instances,
+			Shards: shards,
 		})
 		if err != nil {
 			return RoutingSweepRow{}, fmt.Errorf("routing %v on %s: %w", pols[c.pi], ds.Name, err)

@@ -97,11 +97,11 @@ func mustJSON(t *testing.T, v any) []byte {
 // byte-identical to the serial executor — parallelism may change wall
 // clock, never output.
 func TestRoutingSweepParallelOracle(t *testing.T) {
-	serialRows, _, err := RoutingSweepParallel(1, true, 1)
+	serialRows, _, err := RoutingSweepParallel(1, true, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parRows, stats, err := RoutingSweepParallel(1, true, 4)
+	parRows, stats, err := RoutingSweepParallel(1, true, 4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,11 +118,11 @@ func TestSLOSweepParallelOracle(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-run sweep with profile runs")
 	}
-	serialRows, _, err := SLOSweepParallel(1, true, 1)
+	serialRows, _, err := SLOSweepParallel(1, true, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parRows, _, err := SLOSweepParallel(1, true, 4)
+	parRows, _, err := SLOSweepParallel(1, true, 4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,11 +138,11 @@ func TestAutoscaleSweepParallelOracle(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-run sweep with profile runs")
 	}
-	serialRows, _, err := AutoscaleSweepParallel(1, true, 1)
+	serialRows, _, err := AutoscaleSweepParallel(1, true, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parRows, _, err := AutoscaleSweepParallel(1, true, 3)
+	parRows, _, err := AutoscaleSweepParallel(1, true, 3, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestAutoscaleSweepParallelOracle(t *testing.T) {
 }
 
 func TestKernelBench(t *testing.T) {
-	res, err := KernelBench(100_000)
+	res, err := KernelBench(100_000, []int{1, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +172,27 @@ func TestKernelBench(t *testing.T) {
 	if res.FastPathAllocsPerEvent > 0.05 {
 		t.Fatalf("fast path allocates %.3f/event, want ~0", res.FastPathAllocsPerEvent)
 	}
-	if _, err := KernelBench(3); err == nil {
+	if res.HostCPUs <= 0 || res.GoVersion == "" {
+		t.Fatalf("missing provenance: %+v", res)
+	}
+	if len(res.ShardScaling) != 2 {
+		t.Fatalf("shard scaling rows = %d, want 2", len(res.ShardScaling))
+	}
+	for _, row := range res.ShardScaling {
+		if row.EventsPerSec <= 0 {
+			t.Fatalf("degenerate shard row: %+v", row)
+		}
+		// The chain workload is zero-alloc in steady state on both
+		// kernels; the sharded row additionally amortizes worker startup
+		// and outbox growth over ~100k events.
+		if row.AllocsPerEvent > 0.05 {
+			t.Fatalf("shard row %d allocates %.3f/event, want ~0", row.Shards, row.AllocsPerEvent)
+		}
+	}
+	if res.ShardScaling[0].Shards != 1 || res.ShardScaling[0].Speedup != 1 {
+		t.Fatalf("serial baseline row: %+v", res.ShardScaling[0])
+	}
+	if _, err := KernelBench(3, nil); err == nil {
 		t.Fatal("tiny event count accepted")
 	}
 }

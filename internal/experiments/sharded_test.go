@@ -1,0 +1,156 @@
+package experiments
+
+// Serial-vs-sharded kernel oracles at the experiments layer: every sweep
+// and run family must produce byte-identical results on the sharded kernel
+// at any shard count. These are the end-to-end counterpart of
+// internal/sim's TestShardedMatchesSerialOracle — they drive the real
+// engines (pass pipelines, PP stage handoffs), the router (cross-shard
+// completions), the autoscaler (cold starts, drains) and the tracer
+// through both kernels.
+
+import (
+	"testing"
+)
+
+// TestRoutingSweepShardedOracle: the full routing sweep — router churn
+// across four instances, admission accounting, load balance — must be
+// byte-identical on the sharded kernel, with and without cell parallelism
+// on top (the two axes compose).
+func TestRoutingSweepShardedOracle(t *testing.T) {
+	serialRows, _, err := RoutingSweepParallel(1, true, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 8} {
+		rows, _, err := RoutingSweepParallel(1, true, 2, shards)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		a, b := mustJSON(t, serialRows), mustJSON(t, rows)
+		if string(a) != string(b) {
+			t.Fatalf("sharded routing sweep (shards=%d) diverged from serial:\nserial:  %s\nsharded: %s", shards, a, b)
+		}
+	}
+}
+
+// TestAutoscaleSweepShardedOracle covers the most interleaving-sensitive
+// path: the elastic pool's controller ticks on the coordinator while
+// engines execute on shards, with mid-run scale-ups assigning new
+// instances to shard clocks and drains retiring them.
+func TestAutoscaleSweepShardedOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep with profile runs")
+	}
+	serialRows, _, err := AutoscaleSweepParallel(1, true, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _, err := AutoscaleSweepParallel(1, true, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := mustJSON(t, serialRows), mustJSON(t, rows)
+	if string(a) != string(b) {
+		t.Fatalf("sharded autoscale sweep diverged from serial:\nserial:  %s\nsharded: %s", a, b)
+	}
+}
+
+// TestSLOSweepShardedOracle: two-class admission and weighted scheduling
+// under the sharded kernel.
+func TestSLOSweepShardedOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep with profile runs")
+	}
+	serialRows, _, err := SLOSweepParallel(1, true, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _, err := SLOSweepParallel(1, true, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := mustJSON(t, serialRows), mustJSON(t, rows)
+	if string(a) != string(b) {
+		t.Fatalf("sharded slo sweep diverged from serial:\nserial:  %s\nsharded: %s", a, b)
+	}
+}
+
+// TestRunShardedOraclePipelineParallel drives the PP=2 engines — whose
+// stage handoffs are events between the two halves of one instance, i.e.
+// strictly shard-local — across four GPU pairs on the sharded kernel.
+func TestRunShardedOraclePipelineParallel(t *testing.T) {
+	base := RoutingDatasets(1, true)[1] // small post-recommendation workload
+	sc, err := ScenarioByName("L4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(shards int) *RunResult {
+		t.Helper()
+		res, err := Run(RunConfig{
+			Kind: PipelineParallel, Scenario: sc, Dataset: base.Clone(),
+			QPS: 8, Seed: 1, TotalGPUs: 8, Shards: shards,
+		})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return res
+	}
+	serial := run(0)
+	for _, shards := range []int{2, 4} {
+		got := run(shards)
+		if len(got.Records) != len(serial.Records) {
+			t.Fatalf("shards=%d: %d records, want %d", shards, len(got.Records), len(serial.Records))
+		}
+		for i := range serial.Records {
+			a, b := serial.Records[i], got.Records[i]
+			if a.Req.ID != b.Req.ID || a.Arrival != b.Arrival || a.Start != b.Start || a.Finish != b.Finish {
+				t.Fatalf("shards=%d: record %d diverged: serial {id %d %v %v %v} sharded {id %d %v %v %v}",
+					shards, i, a.Req.ID, a.Arrival, a.Start, a.Finish, b.Req.ID, b.Arrival, b.Start, b.Finish)
+			}
+		}
+		if sa, sb := mustJSON(t, serial.Latency), mustJSON(t, got.Latency); string(sa) != string(sb) {
+			t.Fatalf("shards=%d: latency summary diverged: %s vs %s", shards, sa, sb)
+		}
+		if serial.CacheHitRate != got.CacheHitRate {
+			t.Fatalf("shards=%d: hit rate %v vs %v", shards, got.CacheHitRate, serial.CacheHitRate)
+		}
+	}
+}
+
+// TestTracedRoutingRunShardedOracle: tracing must not perturb the sharded
+// run (results equal to the serial traced run), and the recorder's ring
+// invariant — dropped + held == emitted, counted under the recorder's
+// mutex — must hold exactly even with shard workers emitting concurrently.
+func TestTracedRoutingRunShardedOracle(t *testing.T) {
+	sc, err := ScenarioByName("L4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := RoutingDatasets(1, true)
+	run := func(shards int) (*RoutingRunResult, uint64, uint64, int) {
+		t.Helper()
+		res, rec, err := TracedRoutingRun(RoutingRunConfig{
+			Policy: AffinityLoadPolicy, Scenario: sc, Dataset: base[0].Clone(),
+			QPS: 12, Seed: 1, Instances: 4, Shards: shards,
+		}, 256)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return res, rec.TotalEmitted(), rec.Dropped(), rec.Len()
+	}
+	serialRes, serialEmitted, _, _ := run(1)
+	for _, shards := range []int{4} {
+		res, emitted, dropped, held := run(shards)
+		if dropped+uint64(held) != emitted {
+			t.Fatalf("shards=%d: ring invariant broken: dropped %d + held %d != emitted %d",
+				shards, dropped, held, emitted)
+		}
+		if emitted != serialEmitted {
+			t.Fatalf("shards=%d: emitted %d spans, serial emitted %d", shards, emitted, serialEmitted)
+		}
+		a, b := mustJSON(t, serialRes), mustJSON(t, res)
+		if string(a) != string(b) {
+			t.Fatalf("sharded traced run diverged from serial:\nserial:  %s\nsharded: %s", a, b)
+		}
+	}
+}

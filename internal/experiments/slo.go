@@ -27,7 +27,6 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/router"
 	"repro/internal/sched"
-	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -53,6 +52,9 @@ type SLORunConfig struct {
 	BatchWeight float64
 	// Lambda overrides PrefillOnly's fairness parameter (0 = default).
 	Lambda float64
+	// Shards selects the event kernel: <= 1 serial, >= 2 the sharded
+	// kernel with that many workers. Results are identical either way.
+	Shards int
 }
 
 func (rc *SLORunConfig) defaults() error {
@@ -101,29 +103,31 @@ func SLORun(rc SLORunConfig) (*SLORunResult, error) {
 	if err := rc.defaults(); err != nil {
 		return nil, err
 	}
-	var s sim.Sim
+	kern := engine.NewKernel(rc.Shards, engine.MinEventSeconds(rc.Scenario.Model, rc.Scenario.GPU))
 	var recs []engine.Record
 	var rt *router.Router
 	profLen := (rc.Dataset.MaxLen/1000 + 1) * 1000
 	cfg := engine.Config{
 		Model:         rc.Scenario.Model,
 		GPU:           rc.Scenario.GPU,
-		Sim:           &s,
 		ProfileMaxLen: profLen,
-		OnComplete: func(r engine.Record) {
-			if rt != nil {
-				rt.Completed(r)
-			}
-			recs = append(recs, r)
-		},
 	}
+	sinkFor := kern.CompletionSinks(func(r engine.Record) {
+		if rt != nil {
+			rt.Completed(r)
+		}
+		recs = append(recs, r)
+	})
 	opts := core.Options{Lambda: rc.Lambda}
 	if rc.BatchWeight > 1 {
 		opts.ClassWeights = map[sched.Class]float64{sched.ClassBatch: rc.BatchWeight}
 	}
 	engines := make([]engine.Engine, rc.Instances)
 	for i := range engines {
-		e, err := core.New(cfg, opts)
+		c := cfg
+		c.Sim = kern.InstanceClock(i)
+		c.OnComplete = sinkFor(i)
+		e, err := core.New(c, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -151,6 +155,7 @@ func SLORun(rc SLORunConfig) (*SLORunResult, error) {
 		res.Mode = "class-aware"
 	}
 	var submitErr error
+	clock := kern.Clock()
 	for _, a := range arrivals {
 		a := a
 		if a.Req.Class == sched.ClassBatch {
@@ -158,7 +163,7 @@ func SLORun(rc SLORunConfig) (*SLORunResult, error) {
 		} else {
 			res.InteractiveOffered++
 		}
-		s.At(a.Time, func() {
+		clock.At(a.Time, func() {
 			err := rt.Submit(a.Req)
 			if err == nil {
 				return
@@ -177,7 +182,7 @@ func SLORun(rc SLORunConfig) (*SLORunResult, error) {
 			}
 		})
 	}
-	end := s.Run()
+	end := kern.Run()
 	if submitErr != nil {
 		return nil, submitErr
 	}
@@ -231,15 +236,16 @@ type SLOSweepRow struct {
 // that start before any interactive request is dropped. Serial
 // convenience wrapper around SLOSweepParallel.
 func SLOSweep(seed int64, small bool) ([]SLOSweepRow, error) {
-	rows, _, err := SLOSweepParallel(seed, small, 1)
+	rows, _, err := SLOSweepParallel(seed, small, 1, 1)
 	return rows, err
 }
 
 // SLOSweepParallel is SLOSweep fanned across the cell executor: one
 // saturation cell, then the class-blind and class-aware runs as
 // independent cells, each on its own freshly generated dataset. Rows are
-// byte-identical at any parallelism.
-func SLOSweepParallel(seed int64, small bool, parallel int) ([]SLOSweepRow, CellStats, error) {
+// byte-identical at any parallelism — and at any shard count (shards picks
+// each cell's event kernel).
+func SLOSweepParallel(seed int64, small bool, parallel, shards int) ([]SLOSweepRow, CellStats, error) {
 	sc, err := ScenarioByName("L4")
 	if err != nil {
 		return nil, CellStats{}, err
@@ -301,6 +307,7 @@ func SLOSweepParallel(seed int64, small bool, parallel int) ([]SLOSweepRow, Cell
 	rows, runStats, err := runCells(parallel, len(runs), func(i int) (SLOSweepRow, error) {
 		rc := runs[i]
 		rc.Dataset = mkDataset() // fresh dataset per cell: arrivals are restamped
+		rc.Shards = shards
 		res, err := SLORun(rc)
 		if err != nil {
 			return SLOSweepRow{}, fmt.Errorf("slo %s: %w", rc.Dataset.Name, err)

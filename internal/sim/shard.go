@@ -1,0 +1,406 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// ShardedSim executes one simulation across N event shards plus a
+// coordinator, using conservative time windows (classic conservative
+// parallel discrete-event simulation). The intended partition:
+//
+//   - Shard events touch exactly one instance: engine pass completions,
+//     per-instance queue dispatch, pipeline stage handoffs. Each shard owns
+//     its instances' events outright and a per-shard worker drains them.
+//   - Coordinator events touch shared state: request arrivals, router
+//     decisions, admission, autoscale ticks and cold starts. They execute
+//     serially on the coordinator goroutine, exactly like the serial
+//     kernel.
+//
+// The run alternates two phases. While the earliest pending event is a
+// coordinator event, coordinator events execute one at a time (shards are
+// parked, so the coordinator may freely read engine state and schedule
+// onto shard clocks — this is how router dispatch submits to engines).
+// Otherwise the coordinator opens a window
+//
+//	bound = min(next coordinator event, earliest shard event + lookahead)
+//
+// and every shard executes its own events with time < bound in parallel.
+// No shard blocks on another inside a window: lookahead guarantees nothing
+// scheduled during the window can land before the bound. Cross-shard sends
+// go through Shard.Post, which enforces t >= now + lookahead (panicking on
+// violation — a causality bug, the sharded analogue of scheduling in the
+// past) and buffers the event in a per-shard outbox. At the window barrier
+// the outboxes merge into the coordinator heap in deterministic
+// (time, shard, emission) order, then OnBarrier hooks run (e.g. the engine
+// layer's completion merge) before the next coordinator event.
+//
+// Determinism: each shard's events execute in exactly the serial kernel's
+// (time, seq) order because a shard's events are totally ordered by its
+// own heap regardless of window boundaries. Cross-shard effects are merged
+// at barriers in time order, which matches the serial execution order
+// whenever event times differ; simultaneous events on *different* shards
+// have no serial-observable ordering in this codebase's workloads (float64
+// event times collide only by construction, not by arithmetic), so the
+// oracle tests require byte-identical results against the serial kernel.
+//
+// ShardedSim is not goroutine-safe from outside: construction, scheduling
+// before Run, and Run itself happen on one goroutine; during Run each
+// shard's clock may be used only by the coordinator phase or that shard's
+// own events. Workers are spawned per Run and joined before it returns, so
+// a drained ShardedSim holds no goroutines.
+type ShardedSim struct {
+	now       float64
+	seq       uint64
+	executed  uint64
+	heap      eventHeap
+	lookahead float64
+	shards    []*Shard
+	barriers  []func()
+
+	active  []*Shard // per-window scratch, reused
+	running bool
+
+	windowWG sync.WaitGroup
+	workerWG sync.WaitGroup
+}
+
+// ShardedSim's coordinator implements Clock.
+var _ Clock = (*ShardedSim)(nil)
+
+// NewSharded builds a sharded kernel with the given shard count and
+// lookahead (seconds). Lookahead must be positive and finite: it is the
+// minimum cross-shard latency the workload guarantees (for serving runs,
+// derive it from the catalogs' minimum priced pass time — see
+// engine.MinEventSeconds), and it bounds window sizes, so it trades
+// synchronization frequency against nothing else: correctness is enforced
+// by Shard.Post, not by the window size.
+func NewSharded(shards int, lookahead float64) *ShardedSim {
+	if shards < 1 {
+		panic(fmt.Sprintf("sim: shard count must be >= 1, got %d", shards))
+	}
+	if !(lookahead > 0) || math.IsInf(lookahead, 1) {
+		panic(fmt.Sprintf("sim: lookahead must be positive and finite, got %v", lookahead))
+	}
+	p := &ShardedSim{lookahead: lookahead}
+	p.shards = make([]*Shard, shards)
+	for i := range p.shards {
+		p.shards[i] = &Shard{parent: p, id: i}
+	}
+	return p
+}
+
+// Shards returns the shard count.
+func (p *ShardedSim) Shards() int { return len(p.shards) }
+
+// Shard returns shard i's clock. Instances are typically assigned
+// round-robin: instance k schedules on Shard(k % Shards()).
+func (p *ShardedSim) Shard(i int) *Shard { return p.shards[i] }
+
+// Lookahead returns the kernel's lookahead in seconds.
+func (p *ShardedSim) Lookahead() float64 { return p.lookahead }
+
+// OnBarrier registers a hook that runs after every window barrier (outbox
+// merge included) and before the next coordinator event, while all shards
+// are parked. The engine layer uses it to apply per-shard completion
+// buffers to shared state (router accounting, record order) in
+// deterministic time order. Hooks run in registration order.
+func (p *ShardedSim) OnBarrier(fn func()) {
+	if fn == nil {
+		panic("sim: nil barrier hook")
+	}
+	p.barriers = append(p.barriers, fn)
+}
+
+// Now returns the coordinator's current simulated time.
+func (p *ShardedSim) Now() float64 { return p.now }
+
+// Executed returns the total events executed by the coordinator and every
+// shard, merged on read. Each counter is a plain per-shard field — the
+// strict phase alternation (coordinator runs only while shards are parked,
+// and Executed may be called from coordinator context or after Run) makes
+// the merge exact without atomics.
+func (p *ShardedSim) Executed() uint64 {
+	total := p.executed
+	for _, sh := range p.shards {
+		total += sh.executed
+	}
+	return total
+}
+
+// AtFunc schedules a coordinator event at absolute time t (zero-alloc
+// fast path). Scheduling in the past panics.
+func (p *ShardedSim) AtFunc(t float64, fn Func, arg any) {
+	if t < p.now {
+		panic("sim: event scheduled in the past")
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	p.seq++
+	p.heap.push(event{time: t, seq: p.seq, fn: fn, arg: arg})
+}
+
+// AfterFunc schedules a coordinator event d seconds from now (fast path).
+func (p *ShardedSim) AfterFunc(d float64, fn Func, arg any) {
+	p.AtFunc(p.now+d, fn, arg)
+}
+
+// At schedules a coordinator closure at absolute time t.
+func (p *ShardedSim) At(t float64, fn func()) { p.AtFunc(t, runClosure, fn) }
+
+// After schedules a coordinator closure d seconds from now.
+func (p *ShardedSim) After(d float64, fn func()) { p.AtFunc(p.now+d, runClosure, fn) }
+
+// Pending returns the whole run's queued event count: coordinator heap,
+// every shard heap, and any unmerged outbox entries. Matching the serial
+// kernel's Pending keeps the autoscaler's and sampler's drain discipline
+// ("reschedule only while other events remain") identical on both kernels.
+func (p *ShardedSim) Pending() int {
+	n := p.heap.len()
+	for _, sh := range p.shards {
+		n += sh.heap.len() + len(sh.outbox)
+	}
+	return n
+}
+
+// Run executes the simulation to quiescence and returns the final
+// simulated time (the time of the last event on any clock, matching the
+// serial kernel). Workers are spawned on entry and joined before return.
+func (p *ShardedSim) Run() float64 {
+	if p.running {
+		panic("sim: ShardedSim.Run is not reentrant")
+	}
+	p.running = true
+	defer func() { p.running = false }()
+
+	multi := len(p.shards) > 1
+	if multi {
+		p.startWorkers()
+		defer p.stopWorkers()
+	}
+
+	for {
+		cmin := p.heap.minTime()
+		smin := math.Inf(1)
+		for _, sh := range p.shards {
+			if len(sh.outbox) > 0 {
+				// Posts issued outside a window (setup or coordinator
+				// context) merge here so they can never be stranded.
+				p.mergeOutboxes()
+				cmin = p.heap.minTime()
+			}
+			if t := sh.heap.minTime(); t < smin {
+				smin = t
+			}
+		}
+		if math.IsInf(cmin, 1) && math.IsInf(smin, 1) {
+			break
+		}
+		if cmin <= smin {
+			// Coordinator phase: shards are parked, shared state is safe.
+			e := p.heap.pop()
+			p.now = e.time
+			p.executed++
+			e.fn(e.arg)
+			continue
+		}
+
+		// Window phase: every shard drains its events in [smin, bound).
+		bound := smin + p.lookahead
+		if cmin < bound {
+			bound = cmin
+		}
+		p.active = p.active[:0]
+		for _, sh := range p.shards {
+			if sh.heap.minTime() < bound {
+				p.active = append(p.active, sh)
+			}
+		}
+		if !multi || len(p.active) == 1 {
+			// A single active shard (or a 1-shard kernel) runs inline on
+			// the coordinator goroutine: same semantics, no handoff cost.
+			for _, sh := range p.active {
+				sh.runWindow(bound)
+			}
+		} else {
+			// The coordinator signals the other active shards, runs the
+			// first one itself, then waits at the barrier. Channel send /
+			// WaitGroup wait establish the happens-before edges in both
+			// directions, so shard state needs no atomics.
+			p.windowWG.Add(len(p.active) - 1)
+			for _, sh := range p.active[1:] {
+				sh.work <- bound
+			}
+			p.active[0].runWindow(bound)
+			p.windowWG.Wait()
+		}
+
+		p.mergeOutboxes()
+		for _, fn := range p.barriers {
+			fn()
+		}
+	}
+
+	// Final time: the last event anywhere, as the serial kernel reports.
+	for _, sh := range p.shards {
+		if sh.now > p.now {
+			p.now = sh.now
+		}
+	}
+	return p.now
+}
+
+// mergeOutboxes moves every shard's cross-shard sends into the coordinator
+// heap. Entries are pushed in (shard id, emission) order with fresh
+// coordinator seqs, so the heap's (time, seq) order executes them by
+// (time, shard, emission) — deterministic regardless of how the window's
+// parallel execution interleaved. Outbox capacity is retained (completion
+// of the ringbuf discipline happens via the heap's own shrink on pop).
+func (p *ShardedSim) mergeOutboxes() {
+	for _, sh := range p.shards {
+		for _, o := range sh.outbox {
+			if o.time < p.now {
+				panic("sim: outbox event merged into the past")
+			}
+			p.seq++
+			p.heap.push(event{time: o.time, seq: p.seq, fn: o.fn, arg: o.arg})
+		}
+		for i := range sh.outbox {
+			sh.outbox[i] = outboxEntry{}
+		}
+		sh.outbox = sh.outbox[:0]
+	}
+}
+
+func (p *ShardedSim) startWorkers() {
+	for _, sh := range p.shards {
+		sh.work = make(chan float64, 1)
+		p.workerWG.Add(1)
+		go func(sh *Shard) {
+			defer p.workerWG.Done()
+			for bound := range sh.work {
+				sh.runWindow(bound)
+				p.windowWG.Done()
+			}
+		}(sh)
+	}
+}
+
+func (p *ShardedSim) stopWorkers() {
+	for _, sh := range p.shards {
+		close(sh.work)
+	}
+	p.workerWG.Wait()
+	for _, sh := range p.shards {
+		sh.work = nil
+	}
+}
+
+// outboxEntry is one buffered cross-shard send.
+type outboxEntry struct {
+	time float64
+	fn   Func
+	arg  any
+}
+
+// Shard is one shard's clock: a private (time, seq) heap drained by the
+// shard's worker during windows. It implements Clock, so an engine built
+// against sim.Clock runs on a shard unmodified. All scheduling calls must
+// come from the coordinator phase (e.g. router dispatch submitting to an
+// engine) or from this shard's own events — never from another shard;
+// cross-shard communication goes through Post.
+type Shard struct {
+	parent   *ShardedSim
+	id       int
+	now      float64
+	seq      uint64
+	executed uint64
+	heap     eventHeap
+	outbox   []outboxEntry
+	work     chan float64
+}
+
+var _ Clock = (*Shard)(nil)
+
+// ID returns the shard index.
+func (sh *Shard) ID() int { return sh.id }
+
+// Now returns the shard's current time: its own clock or the
+// coordinator's, whichever is ahead. The coordinator's clock leads when a
+// coordinator event (a router dispatch) schedules onto a shard that has
+// been idle; the shard's own clock leads inside a window, where the
+// coordinator is parked at the window's opening time.
+func (sh *Shard) Now() float64 {
+	if sh.now > sh.parent.now {
+		return sh.now
+	}
+	return sh.parent.now
+}
+
+// Executed returns the events this shard has run.
+func (sh *Shard) Executed() uint64 { return sh.executed }
+
+// AtFunc schedules a shard-local event at absolute time t (zero-alloc
+// fast path). Scheduling in the past panics.
+func (sh *Shard) AtFunc(t float64, fn Func, arg any) {
+	if t < sh.Now() {
+		panic("sim: event scheduled in the past")
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	sh.seq++
+	sh.heap.push(event{time: t, seq: sh.seq, fn: fn, arg: arg})
+}
+
+// AfterFunc schedules a shard-local event d seconds from now (fast path).
+func (sh *Shard) AfterFunc(d float64, fn Func, arg any) {
+	sh.AtFunc(sh.Now()+d, fn, arg)
+}
+
+// At schedules a shard-local closure at absolute time t.
+func (sh *Shard) At(t float64, fn func()) { sh.AtFunc(t, runClosure, fn) }
+
+// After schedules a shard-local closure d seconds from now.
+func (sh *Shard) After(d float64, fn func()) { sh.AtFunc(sh.Now()+d, runClosure, fn) }
+
+// Pending returns the whole run's pending event count (see
+// ShardedSim.Pending); a shard-local count would break the drain
+// discipline of samplers running against shard clocks.
+func (sh *Shard) Pending() int { return sh.parent.Pending() }
+
+// Post schedules a coordinator event from shard context — the only legal
+// cross-shard communication during a window. The target time must respect
+// the kernel's lookahead (t >= now + lookahead); anything earlier could
+// land inside the window another shard is still executing, so it panics as
+// a causality violation just like scheduling in the past does. The event
+// is buffered in the shard's outbox and merged at the window barrier in
+// deterministic (time, shard, emission) order.
+func (sh *Shard) Post(t float64, fn Func, arg any) {
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	if t < sh.Now()+sh.parent.lookahead {
+		panic("sim: cross-shard event posted inside the lookahead window")
+	}
+	sh.outbox = append(sh.outbox, outboxEntry{time: t, fn: fn, arg: arg})
+}
+
+// runWindow drains the shard's events with time < bound. The strict
+// minTime check is the lookahead-safety invariant: a shard never executes
+// an event at or past the coordinator's window bound, no matter what its
+// events schedule (pinned by TestShardNeverExecutesPastWindowBound).
+func (sh *Shard) runWindow(bound float64) {
+	for {
+		t := sh.heap.minTime()
+		if t >= bound {
+			return
+		}
+		e := sh.heap.pop()
+		sh.now = e.time
+		sh.executed++
+		e.fn(e.arg)
+	}
+}

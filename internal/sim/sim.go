@@ -12,6 +12,13 @@
 // zero heap allocations per event (pinned by TestSteadyStateSchedulingZeroAlloc).
 // The backing array is bounded by the peak pending depth and shrinks when
 // the queue drains, following the internal/ringbuf discipline.
+//
+// The package offers two kernels over the same heap machinery: Sim, the
+// serial kernel every experiment ran on historically, and ShardedSim (see
+// shard.go), which partitions instance-local events across per-shard
+// workers under conservative time windows for parallelism within a single
+// fleet-scale run. Code that only schedules and reads the clock accepts
+// the Clock interface so it runs unchanged on either kernel.
 package sim
 
 import (
@@ -26,6 +33,30 @@ import (
 // same representation via a trampoline.
 type Func func(arg any)
 
+// Clock is the scheduling surface shared by the serial kernel (*Sim), the
+// sharded kernel's coordinator (*ShardedSim), and its per-instance shards
+// (*Shard). Engines, samplers and controllers program against Clock so the
+// same code runs serially or sharded; only run construction picks the
+// kernel. Pending is part of the surface because the autoscaler's and
+// sampler's termination discipline ("reschedule only while other events
+// remain") is clock behaviour, not kernel behaviour.
+type Clock interface {
+	// Now returns the current simulated time in seconds.
+	Now() float64
+	// AtFunc schedules fn(arg) at absolute time t (zero-alloc fast path).
+	AtFunc(t float64, fn Func, arg any)
+	// AfterFunc schedules fn(arg) d seconds from now (fast path).
+	AfterFunc(d float64, fn Func, arg any)
+	// At schedules a closure at absolute time t.
+	At(t float64, fn func())
+	// After schedules a closure d seconds from now.
+	After(d float64, fn func())
+	// Pending returns the number of queued events visible to this clock.
+	// On a sharded kernel every clock reports the whole run's pending
+	// count, matching what the serial kernel would say.
+	Pending() int
+}
+
 // event is one scheduled callback, stored by value in the heap slice.
 type event struct {
 	time float64
@@ -38,27 +69,17 @@ type event struct {
 // allocated (same floor as internal/ringbuf).
 const minEventCap = 8
 
-// Sim is a discrete-event simulator. The zero value is ready to use.
-// Sim is not goroutine-safe: each simulation owns one Sim, and parallel
-// experiment cells each run their own.
-type Sim struct {
-	now      float64
-	seq      uint64
-	executed uint64
-	events   []event // min-heap ordered by (time, seq)
+// eventHeap is the value-based min-heap ordered by (time, seq). It is the
+// storage both kernels share: the serial Sim owns one, and every shard and
+// the sharded coordinator own one each. Methods never allocate beyond the
+// backing array's amortized growth.
+type eventHeap struct {
+	events []event
 }
 
-// Now returns the current simulated time in seconds.
-func (s *Sim) Now() float64 { return s.now }
-
-// Executed returns the number of events the kernel has run — the
-// observability layer's sim_events_total counter. One integer increment
-// per event keeps it inside the kernel's zero-alloc budget.
-func (s *Sim) Executed() uint64 { return s.executed }
-
 // less orders the heap by (time, seq): earliest first, FIFO on ties.
-func (s *Sim) less(i, j int) bool {
-	a, b := &s.events[i], &s.events[j]
+func (h *eventHeap) less(i, j int) bool {
+	a, b := &h.events[i], &h.events[j]
 	if a.time != b.time {
 		return a.time < b.time
 	}
@@ -67,15 +88,15 @@ func (s *Sim) less(i, j int) bool {
 
 // push appends an event and restores the heap invariant. Within the
 // backing array's capacity this performs no allocation.
-func (s *Sim) push(e event) {
-	s.events = append(s.events, e)
-	i := len(s.events) - 1
+func (h *eventHeap) push(e event) {
+	h.events = append(h.events, e)
+	i := len(h.events) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !s.less(i, parent) {
+		if !h.less(i, parent) {
 			break
 		}
-		s.events[i], s.events[parent] = s.events[parent], s.events[i]
+		h.events[i], h.events[parent] = h.events[parent], h.events[i]
 		i = parent
 	}
 }
@@ -85,12 +106,12 @@ func (s *Sim) push(e event) {
 // backing array, and the array halves once the pending depth drains below
 // a quarter of it (ringbuf discipline: capacity tracks peak depth, not
 // history).
-func (s *Sim) pop() event {
-	e := s.events[0]
-	n := len(s.events) - 1
-	s.events[0] = s.events[n]
-	s.events[n] = event{}
-	s.events = s.events[:n]
+func (h *eventHeap) pop() event {
+	e := h.events[0]
+	n := len(h.events) - 1
+	h.events[0] = h.events[n]
+	h.events[n] = event{}
+	h.events = h.events[:n]
 	i := 0
 	for {
 		l := 2*i + 1
@@ -98,26 +119,59 @@ func (s *Sim) pop() event {
 			break
 		}
 		m := l
-		if r := l + 1; r < n && s.less(r, l) {
+		if r := l + 1; r < n && h.less(r, l) {
 			m = r
 		}
-		if !s.less(m, i) {
+		if !h.less(m, i) {
 			break
 		}
-		s.events[i], s.events[m] = s.events[m], s.events[i]
+		h.events[i], h.events[m] = h.events[m], h.events[i]
 		i = m
 	}
-	if c := cap(s.events); c > minEventCap && n <= c/4 {
+	if c := cap(h.events); c > minEventCap && n <= c/4 {
 		half := c / 2
 		if half < minEventCap {
 			half = minEventCap
 		}
 		next := make([]event, n, half)
-		copy(next, s.events)
-		s.events = next
+		copy(next, h.events)
+		h.events = next
 	}
 	return e
 }
+
+// len returns the pending depth.
+func (h *eventHeap) len() int { return len(h.events) }
+
+// minTime returns the earliest pending event time, or +Inf when empty.
+func (h *eventHeap) minTime() float64 {
+	if len(h.events) == 0 {
+		return math.Inf(1)
+	}
+	return h.events[0].time
+}
+
+// Sim is a serial discrete-event simulator. The zero value is ready to
+// use. Sim is not goroutine-safe: each simulation owns one Sim, and
+// parallel experiment cells each run their own. For parallelism within one
+// run, see ShardedSim.
+type Sim struct {
+	now      float64
+	seq      uint64
+	executed uint64
+	heap     eventHeap // min-heap ordered by (time, seq)
+}
+
+// Sim implements Clock.
+var _ Clock = (*Sim)(nil)
+
+// Now returns the current simulated time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// Executed returns the number of events the kernel has run — the
+// observability layer's sim_events_total counter. One integer increment
+// per event keeps it inside the kernel's zero-alloc budget.
+func (s *Sim) Executed() uint64 { return s.executed }
 
 // AtFunc schedules fn(arg) at absolute time t — the zero-alloc fast path:
 // fn should be a package-level function (not a per-call closure) and arg a
@@ -132,7 +186,7 @@ func (s *Sim) AtFunc(t float64, fn Func, arg any) {
 		panic("sim: nil event callback")
 	}
 	s.seq++
-	s.push(event{time: t, seq: s.seq, fn: fn, arg: arg})
+	s.heap.push(event{time: t, seq: s.seq, fn: fn, arg: arg})
 }
 
 // AfterFunc schedules fn(arg) d seconds from now (fast path).
@@ -157,15 +211,15 @@ func (s *Sim) After(d float64, fn func()) {
 }
 
 // Pending returns the number of queued events.
-func (s *Sim) Pending() int { return len(s.events) }
+func (s *Sim) Pending() int { return s.heap.len() }
 
 // Run executes events in time order until the queue drains, and returns
 // the final simulated time. Draining shrinks the heap's backing array back
 // toward minEventCap, so a Sim that served a deep burst does not pin its
 // peak-depth array afterwards.
 func (s *Sim) Run() float64 {
-	for len(s.events) > 0 {
-		e := s.pop()
+	for s.heap.len() > 0 {
+		e := s.heap.pop()
 		s.now = e.time
 		s.executed++
 		e.fn(e.arg)
@@ -176,8 +230,8 @@ func (s *Sim) Run() float64 {
 // RunUntil executes events with time <= deadline, leaves later events
 // queued, and advances the clock to min(deadline, last event time).
 func (s *Sim) RunUntil(deadline float64) {
-	for len(s.events) > 0 && s.events[0].time <= deadline {
-		e := s.pop()
+	for s.heap.len() > 0 && s.heap.events[0].time <= deadline {
+		e := s.heap.pop()
 		s.now = e.time
 		s.executed++
 		e.fn(e.arg)

@@ -212,16 +212,16 @@ func TestHeapShrinksAfterDrain(t *testing.T) {
 	for i := 0; i < depth; i++ {
 		s.AtFunc(float64(i), bump, c)
 	}
-	if peak := cap(s.events); peak < depth {
+	if peak := cap(s.heap.events); peak < depth {
 		t.Fatalf("cap %d below pending depth %d", peak, depth)
 	}
 	s.Run()
 	if c.fired != depth {
 		t.Fatalf("fired %d of %d", c.fired, depth)
 	}
-	if cap(s.events) > 2*minEventCap {
+	if cap(s.heap.events) > 2*minEventCap {
 		t.Fatalf("backing array holds %d slots after drain, want <= %d",
-			cap(s.events), 2*minEventCap)
+			cap(s.heap.events), 2*minEventCap)
 	}
 }
 
@@ -238,13 +238,13 @@ func TestHeapBoundedUnderSustainedChurn(t *testing.T) {
 	if c.fired != n {
 		t.Fatalf("fired %d of %d", c.fired, n)
 	}
-	if cap(s.events) > 2*minEventCap {
-		t.Fatalf("backing array holds %d slots after %d churned events", cap(s.events), n)
+	if cap(s.heap.events) > 2*minEventCap {
+		t.Fatalf("backing array holds %d slots after %d churned events", cap(s.heap.events), n)
 	}
 	// Vacated slots must be zeroed so fired callbacks and payloads are
 	// collectable.
-	for i := len(s.events); i < cap(s.events); i++ {
-		if e := s.events[:cap(s.events)][i]; e.fn != nil || e.arg != nil {
+	for i := len(s.heap.events); i < cap(s.heap.events); i++ {
+		if e := s.heap.events[:cap(s.heap.events)][i]; e.fn != nil || e.arg != nil {
 			t.Fatalf("drained heap retains callback/payload at slot %d", i)
 		}
 	}

@@ -422,7 +422,7 @@ func (r *Recorder) SampleCaches(now float64) {
 // instead of ticking forever. Start re-arms it (idempotently) when new
 // work is submitted.
 type Sampler struct {
-	s        *sim.Sim
+	s        sim.Clock
 	interval float64
 	sample   func(now float64)
 	running  bool
@@ -431,7 +431,7 @@ type Sampler struct {
 // NewSampler builds a sampler calling sample(now) every interval sim
 // seconds. The callback reads fleet state (router loads, caches, pool)
 // and emits gauges on a Recorder.
-func NewSampler(s *sim.Sim, interval float64, sample func(now float64)) *Sampler {
+func NewSampler(s sim.Clock, interval float64, sample func(now float64)) *Sampler {
 	if interval <= 0 {
 		panic("trace: sampler interval must be positive")
 	}

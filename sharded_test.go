@@ -1,0 +1,184 @@
+package prefillonly
+
+// Root-level serial-vs-sharded oracles through the public facade: the
+// SimulationConfig.Shards knob must never change results — only the wall
+// clock. These complement internal/sim's kernel-level oracle and
+// internal/experiments' sweep-level ones by covering the facade's own
+// wiring: routed clusters, PP engine pairs, the elastic pool's mid-run
+// instance creation, and tracing.
+
+import "testing"
+
+// recordKey is the part of a completion record the oracles compare.
+type recordKey struct {
+	id                     int64
+	arrival, start, finish float64
+	instance               string
+}
+
+func recordKeys(t *testing.T, recs []Record) []recordKey {
+	t.Helper()
+	out := make([]recordKey, len(recs))
+	for i, r := range recs {
+		out[i] = recordKey{r.Req.ID, r.Arrival, r.Start, r.Finish, r.Instance}
+	}
+	return out
+}
+
+func requireSameRecords(t *testing.T, label string, serial, sharded []recordKey) {
+	t.Helper()
+	if len(serial) != len(sharded) {
+		t.Fatalf("%s: %d records, serial had %d", label, len(sharded), len(serial))
+	}
+	for i := range serial {
+		if serial[i] != sharded[i] {
+			t.Fatalf("%s: record %d diverged: serial %+v sharded %+v", label, i, serial[i], sharded[i])
+		}
+	}
+}
+
+// TestSimulationShardedRoutedCluster: four routed PrefillOnly instances,
+// each on its own shard clock, with router decisions and admission on the
+// coordinator.
+func TestSimulationShardedRoutedCluster(t *testing.T) {
+	run := func(shards int) []recordKey {
+		s, err := NewSimulation(SimulationConfig{
+			GPUs: 4, MaxInputLen: 6000,
+			RoutingPolicy: "affinity", MaxBacklogSeconds: 25, Shards: shards,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := NewSkewed(SkewedConfig{Users: 12, Requests: 72, ProfileMean: 2500,
+			ProfileStd: 500, ProfileMin: 1500, ProfileMax: 4000, Seed: 7})
+		if err := s.SubmitDataset(ds, 14, 11); err != nil {
+			t.Fatal(err)
+		}
+		return recordKeys(t, s.Run())
+	}
+	serial := run(0)
+	if len(serial) == 0 {
+		t.Fatal("serial run completed nothing")
+	}
+	for _, shards := range []int{1, 2, 8} {
+		requireSameRecords(t, "routed cluster", serial, run(shards))
+	}
+}
+
+// TestSimulationShardedPipelineParallel: PP=2 engine pairs — the stage
+// handoff events inside each pair stay on that instance's shard.
+func TestSimulationShardedPipelineParallel(t *testing.T) {
+	run := func(shards int) []recordKey {
+		s, err := NewSimulation(SimulationConfig{
+			Engine: EnginePipelineParallel, GPUs: 8, MaxInputLen: 6000, Shards: shards,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := NewPostRecommendation(PostRecommendationConfig{Users: 6, PostsPerUser: 8, Seed: 5})
+		if err := s.SubmitDataset(ds, 10, 13); err != nil {
+			t.Fatal(err)
+		}
+		return recordKeys(t, s.Run())
+	}
+	serial := run(0)
+	if len(serial) == 0 {
+		t.Fatal("serial run completed nothing")
+	}
+	for _, shards := range []int{2, 4} {
+		requireSameRecords(t, "pipeline parallel", serial, run(shards))
+	}
+}
+
+// TestSimulationShardedAutoscale: the elastic pool under a square-wave
+// burst — cold starts priced on the coordinator, mid-run scale-ups
+// assigning fresh instances to shard clocks, drains retiring them.
+func TestSimulationShardedAutoscale(t *testing.T) {
+	type result struct {
+		recs               []recordKey
+		rejected           int
+		scaleUps, peak     int
+		coldStartSeconds   float64
+		gpuSeconds, endSim float64
+	}
+	run := func(shards int) result {
+		s, err := NewSimulation(SimulationConfig{
+			GPUs: 4, MaxInputLen: 5000,
+			RoutingPolicy: "affinity", MaxBacklogSeconds: 20, Shards: shards,
+			Autoscale: &AutoscaleConfig{MinInstances: 1, UpBacklogSeconds: 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := NewSkewed(SkewedConfig{Users: 16, Requests: 96, ProfileMean: 2500,
+			ProfileStd: 500, ProfileMin: 1500, ProfileMax: 4000, Seed: 3})
+		arrivals, err := AssignOpenLoopArrivals(ds, SquareWaveRate(1, 12, 30, 0.4), 12, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range arrivals {
+			s.SubmitAt(a.Time, a.Req)
+		}
+		recs := s.Run()
+		ctl := s.Autoscaler()
+		if err := ctl.Err(); err != nil {
+			t.Fatal(err)
+		}
+		st := ctl.Stats()
+		return result{
+			recs: recordKeys(t, recs), rejected: s.Rejected(),
+			scaleUps: st.ScaleUps, peak: st.PeakInstances,
+			coldStartSeconds: st.ColdStartSeconds,
+			gpuSeconds:       ctl.GPUSeconds(s.Now()), endSim: s.Now(),
+		}
+	}
+	serial := run(1)
+	if serial.scaleUps == 0 {
+		t.Fatal("burst did not grow the pool; the oracle would not cover churn")
+	}
+	for _, shards := range []int{2, 4} {
+		got := run(shards)
+		requireSameRecords(t, "autoscale", serial.recs, got.recs)
+		if got.rejected != serial.rejected || got.scaleUps != serial.scaleUps ||
+			got.peak != serial.peak || got.coldStartSeconds != serial.coldStartSeconds ||
+			got.gpuSeconds != serial.gpuSeconds || got.endSim != serial.endSim {
+			t.Fatalf("shards=%d: controller state diverged: serial %+v sharded %+v", shards, serial, got)
+		}
+	}
+}
+
+// TestSimulationShardedTracingDoesNotPerturb extends the serial kernel's
+// tracing-invariance guarantee to the sharded one: a traced sharded run
+// must equal the untraced serial run, and the ring's accounting must stay
+// exact with shard workers emitting concurrently.
+func TestSimulationShardedTracingDoesNotPerturb(t *testing.T) {
+	run := func(shards, spans int) ([]recordKey, *Simulation) {
+		s, err := NewSimulation(SimulationConfig{
+			GPUs: 4, MaxInputLen: 6000,
+			RoutingPolicy: "affinity", Shards: shards, TraceSpans: spans,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := NewSkewed(SkewedConfig{Users: 12, Requests: 60, ProfileMean: 2500,
+			ProfileStd: 500, ProfileMin: 1500, ProfileMax: 4000, Seed: 9})
+		if err := s.SubmitDataset(ds, 12, 17); err != nil {
+			t.Fatal(err)
+		}
+		return recordKeys(t, s.Run()), s
+	}
+	serial, _ := run(1, 0)
+	traced, s := run(4, 128)
+	requireSameRecords(t, "traced sharded", serial, traced)
+	rec := s.Trace()
+	if rec == nil {
+		t.Fatal("no recorder")
+	}
+	if rec.TotalEmitted() == 0 {
+		t.Fatal("traced run emitted nothing")
+	}
+	if got, want := rec.Dropped()+uint64(rec.Len()), rec.TotalEmitted(); got != want {
+		t.Fatalf("ring invariant broken: dropped %d + held %d != emitted %d",
+			rec.Dropped(), rec.Len(), rec.TotalEmitted())
+	}
+}

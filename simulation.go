@@ -91,12 +91,22 @@ type SimulationConfig struct {
 	// TraceSampleSeconds is the fleet-gauge sampling interval in sim
 	// seconds when tracing is enabled (default 0.5).
 	TraceSampleSeconds float64
+	// Shards selects the event kernel: <= 1 runs the serial kernel, >= 2
+	// runs the sharded kernel with that many shard workers — engine
+	// instances round-robin onto shard clocks and execute their pass and
+	// dispatch events in parallel inside conservative time windows, while
+	// arrivals, routing, autoscaling and gauge sampling stay on the
+	// coordinator. Results are identical to the serial kernel (the window
+	// lookahead derives from the catalogs' minimum priced pass time);
+	// only the wall clock changes.
+	Shards int
 }
 
 // Simulation is a deterministic serving cluster on a virtual clock.
 type Simulation struct {
 	cfg             SimulationConfig
-	sim             *sim.Sim
+	kern            *engine.Kernel
+	clock           sim.Clock             // the kernel's coordinator-side clock
 	cluster         *cluster.Cluster      // legacy §7.1 routing ("" policy)
 	router          *router.Router        // load/affinity routing (non-empty policy)
 	ctl             *autoscale.Controller // elastic pool (Autoscale config)
@@ -151,43 +161,52 @@ func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
 	if len(cfg.ClassWeights) != 0 && cfg.Engine != EnginePrefillOnly {
 		return nil, fmt.Errorf("prefillonly: ClassWeights requires the %s engine", EnginePrefillOnly)
 	}
-	s := &Simulation{cfg: cfg, sim: &sim.Sim{}, tok: tokenizer.New()}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("prefillonly: Shards must be >= 0, got %d", cfg.Shards)
+	}
+	kern := engine.NewKernel(cfg.Shards, engine.MinEventSeconds(cfg.Model, cfg.GPU))
+	s := &Simulation{cfg: cfg, kern: kern, clock: kern.Clock(), tok: tokenizer.New()}
 	if cfg.TraceSpans != 0 {
 		s.rec = trace.New(cfg.TraceSpans)
 		interval := cfg.TraceSampleSeconds
 		if interval <= 0 {
 			interval = 0.5
 		}
-		s.sampler = trace.NewSampler(s.sim, interval, s.sampleGauges)
+		s.sampler = trace.NewSampler(s.clock, interval, s.sampleGauges)
 	}
 
+	sinkFor := kern.CompletionSinks(func(r Record) {
+		if s.router != nil {
+			s.router.Completed(r)
+		}
+		s.records = append(s.records, r)
+	})
 	ecfg := engine.Config{
 		Model:          cfg.Model,
 		GPU:            cfg.GPU,
-		Sim:            s.sim,
 		ProfileMaxLen:  cfg.MaxInputLen,
 		HostCacheBytes: cfg.HostCacheBytes,
 		Tracer:         s.rec,
-		OnComplete: func(r Record) {
-			if s.router != nil {
-				s.router.Completed(r)
-			}
-			s.records = append(s.records, r)
-		},
 	}
 	var instances []engine.Engine
 	mk := func() (engine.Engine, error) {
+		// Each instance schedules on its own shard clock (round-robin;
+		// the serial kernel hands every instance the same Sim) and emits
+		// completions through its shard's merged sink.
+		c := ecfg
+		c.Sim = kern.InstanceClock(len(s.instances))
+		c.OnComplete = sinkFor(len(s.instances))
 		switch cfg.Engine {
 		case EnginePrefillOnly:
-			return core.New(ecfg, core.Options{Lambda: cfg.Lambda, ClassWeights: cfg.ClassWeights})
+			return core.New(c, core.Options{Lambda: cfg.Lambda, ClassWeights: cfg.ClassWeights})
 		case EnginePagedAttention:
-			return engine.NewPagedAttention(ecfg)
+			return engine.NewPagedAttention(c)
 		case EngineChunkedPrefill:
-			return engine.NewChunkedPrefill(ecfg, 0)
+			return engine.NewChunkedPrefill(c, 0)
 		case EngineTensorParallel:
-			return engine.NewTensorParallel(ecfg)
+			return engine.NewTensorParallel(c)
 		case EnginePipelineParallel:
-			return engine.NewPipelineParallel(ecfg)
+			return engine.NewPipelineParallel(c)
 		default:
 			return nil, fmt.Errorf("prefillonly: unknown engine %q", cfg.Engine)
 		}
@@ -251,7 +270,7 @@ func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
 		}
 		s.router = rt
 		if acfg != nil {
-			ctl, err := autoscale.New(*acfg, s.sim, rt, factory)
+			ctl, err := autoscale.New(*acfg, s.clock, rt, factory)
 			if err != nil {
 				return nil, err
 			}
@@ -300,12 +319,12 @@ func (s *Simulation) submit(r *Request) {
 }
 
 // Now returns the current simulated time in seconds.
-func (s *Simulation) Now() float64 { return s.sim.Now() }
+func (s *Simulation) Now() float64 { return s.clock.Now() }
 
 // SubmitAt schedules a request's arrival at absolute simulated time t.
 func (s *Simulation) SubmitAt(t float64, r *Request) {
 	r.ArrivalTime = t
-	s.sim.At(t, func() { s.submit(r) })
+	s.clock.At(t, func() { s.submit(r) })
 }
 
 // SubmitText tokenizes a prompt and schedules its arrival at time t,
@@ -331,7 +350,7 @@ func (s *Simulation) SubmitDataset(d *Dataset, qps float64, seed int64) error {
 	}
 	for _, a := range arrivals {
 		a := a
-		s.sim.At(a.Time, func() { s.submit(a.Req) })
+		s.clock.At(a.Time, func() { s.submit(a.Req) })
 	}
 	return nil
 }
@@ -339,7 +358,7 @@ func (s *Simulation) SubmitDataset(d *Dataset, qps float64, seed int64) error {
 // Run drains the event queue (serving every submitted request) and returns
 // the completion records in finish order.
 func (s *Simulation) Run() []Record {
-	s.sim.Run()
+	s.kern.Run()
 	return s.records
 }
 
