@@ -32,25 +32,37 @@
 // the resulting Chrome trace-event JSON, loadable in Perfetto
 // (https://ui.perfetto.dev) or chrome://tracing.
 //
+// routing also honours -timeseries FILE: after the sweep it executes one
+// dedicated run with the windowed time-series collector attached and
+// writes the series as JSON, plus a CSV sibling (FILE with a .csv
+// extension). The collector never perturbs the run. With
+// -compare-unsharded and -shards N, the instrumented run repeats on the
+// serial kernel and prefillbench fails unless the two series are
+// byte-identical.
+//
 // routing, autoscale, slo and kernel honour -json to additionally write
-// their results as JSON (-exp all rejects -json: it would be ambiguous
-// which experiment's rows the file holds); the CI benchmark smoke step records
+// their results as JSON; the CI benchmark smoke step records
 // BENCH_routing.json, BENCH_autoscale.json, BENCH_slo.json and
-// BENCH_kernel.json this way). Sweep JSON carries {"rows": ..., "executor":
+// BENCH_kernel.json this way. For -exp all, -json names a directory:
+// every JSON-producing experiment writes its BENCH_*.json file into it.
+// Sweep JSON carries {"rows": ..., "executor":
 // ...}: the executor block records serial-equivalent vs. parallel wall
 // seconds and allocations per cell, so harness-speed regressions are as
 // visible as simulation-result regressions.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"text/tabwriter"
 
 	"repro/internal/experiments"
+	"repro/internal/timeseries"
 )
 
 func main() {
@@ -64,6 +76,8 @@ func main() {
 	jsonPath := flag.String("json", "", "also write the experiment's results as JSON (routing, autoscale, slo, kernel)")
 	tracePath := flag.String("trace", "",
 		"write a Perfetto-loadable Chrome trace of one instrumented routing run (routing only)")
+	timeseriesPath := flag.String("timeseries", "",
+		"write one instrumented routing run's windowed time-series as JSON, plus a .csv sibling (routing only)")
 	compare := flag.Bool("compare-serial", false,
 		"run the sweep twice (serial then -parallel) and record the measured wall-clock speedup; fails unless rows are byte-identical (routing, autoscale, slo)")
 	shards := flag.Int("shards", 1,
@@ -72,7 +86,7 @@ func main() {
 		"rerun the sweep on the serial kernel and fail unless rows are byte-identical to the -shards run (routing, autoscale, slo)")
 	flag.Parse()
 
-	if err := run(*exp, *scenario, *dataset, *seed, *small, *parallel, *shards, *jsonPath, *tracePath, *compare, *compareUnsharded); err != nil {
+	if err := run(*exp, *scenario, *dataset, *seed, *small, *parallel, *shards, *jsonPath, *tracePath, *timeseriesPath, *compare, *compareUnsharded); err != nil {
 		fmt.Fprintln(os.Stderr, "prefillbench:", err)
 		os.Exit(1)
 	}
@@ -85,17 +99,20 @@ func main() {
 // experiments it contains accept and applies each to the ones that
 // honour it.
 var (
-	jsonExps    = map[string]bool{"routing": true, "autoscale": true, "slo": true, "kernel": true}
+	jsonExps    = map[string]bool{"routing": true, "autoscale": true, "slo": true, "kernel": true, "all": true}
 	compareExps = map[string]bool{"routing": true, "autoscale": true, "slo": true, "all": true}
 	shardExps   = map[string]bool{"routing": true, "autoscale": true, "slo": true, "kernel": true, "all": true}
 )
 
-func run(exp, scenario, dataset string, seed int64, small bool, parallel, shards int, jsonPath, tracePath string, compare, compareUnsharded bool) error {
+func run(exp, scenario, dataset string, seed int64, small bool, parallel, shards int, jsonPath, tracePath, timeseriesPath string, compare, compareUnsharded bool) error {
 	if jsonPath != "" && !jsonExps[exp] {
-		return fmt.Errorf("-json is not supported by -exp %s (use routing, autoscale, slo or kernel)", exp)
+		return fmt.Errorf("-json is not supported by -exp %s (use routing, autoscale, slo, kernel or all)", exp)
 	}
 	if tracePath != "" && exp != "routing" {
 		return fmt.Errorf("-trace is not supported by -exp %s (use routing)", exp)
+	}
+	if timeseriesPath != "" && exp != "routing" {
+		return fmt.Errorf("-timeseries is not supported by -exp %s (use routing)", exp)
 	}
 	if compare && !compareExps[exp] {
 		return fmt.Errorf("-compare-serial is not supported by -exp %s (use routing, autoscale or slo)", exp)
@@ -137,7 +154,7 @@ func run(exp, scenario, dataset string, seed int64, small bool, parallel, shards
 	case "sec6.3":
 		return sec63()
 	case "routing":
-		return routing(seed, small, parallel, shards, jsonPath, tracePath, compare, compareUnsharded)
+		return routing(seed, small, parallel, shards, jsonPath, tracePath, timeseriesPath, compare, compareUnsharded)
 	case "autoscale":
 		return autoscaleExp(seed, small, parallel, shards, jsonPath, compare, compareUnsharded)
 	case "slo":
@@ -145,21 +162,33 @@ func run(exp, scenario, dataset string, seed int64, small bool, parallel, shards
 	case "kernel":
 		return kernelExp(small, shards, jsonPath)
 	case "all":
+		// Under -exp all, -json names a directory: each JSON-producing
+		// experiment writes its own BENCH_*.json file into it.
+		var routingJSON, autoscaleJSON, sloJSON, kernelJSON string
+		if jsonPath != "" {
+			if err := os.MkdirAll(jsonPath, 0o755); err != nil {
+				return fmt.Errorf("-json directory: %w", err)
+			}
+			routingJSON = filepath.Join(jsonPath, "BENCH_routing.json")
+			autoscaleJSON = filepath.Join(jsonPath, "BENCH_autoscale.json")
+			sloJSON = filepath.Join(jsonPath, "BENCH_slo.json")
+			kernelJSON = filepath.Join(jsonPath, "BENCH_kernel.json")
+		}
 		for _, e := range []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig10", "sec2.3", "sec6.3"} {
-			if err := run(e, scenario, dataset, seed, small, parallel, 1, "", "", false, false); err != nil {
+			if err := run(e, scenario, dataset, seed, small, parallel, 1, "", "", "", false, false); err != nil {
 				return err
 			}
 		}
-		if err := routing(seed, true, parallel, shards, "", "", compare, compareUnsharded); err != nil {
+		if err := routing(seed, true, parallel, shards, routingJSON, "", "", compare, compareUnsharded); err != nil {
 			return err
 		}
-		if err := autoscaleExp(seed, true, parallel, shards, "", compare, compareUnsharded); err != nil {
+		if err := autoscaleExp(seed, true, parallel, shards, autoscaleJSON, compare, compareUnsharded); err != nil {
 			return err
 		}
-		if err := sloExp(seed, true, parallel, shards, "", compare, compareUnsharded); err != nil {
+		if err := sloExp(seed, true, parallel, shards, sloJSON, compare, compareUnsharded); err != nil {
 			return err
 		}
-		if err := kernelExp(true, shards, ""); err != nil {
+		if err := kernelExp(true, shards, kernelJSON); err != nil {
 			return err
 		}
 		return figQPS("fig6", scenario, dataset, seed, true, parallel)
@@ -492,7 +521,7 @@ func fig11(seed int64, parallel int) error {
 	return nil
 }
 
-func routing(seed int64, small bool, parallel, shards int, jsonPath, tracePath string, compare, cmpUnsharded bool) error {
+func routing(seed int64, small bool, parallel, shards int, jsonPath, tracePath, timeseriesPath string, compare, cmpUnsharded bool) error {
 	rows, stats, err := experiments.RoutingSweepParallel(seed, small, parallel, shards)
 	if err != nil {
 		return err
@@ -531,8 +560,83 @@ func routing(seed int64, small bool, parallel, shards int, jsonPath, tracePath s
 		}
 	}
 	if tracePath != "" {
-		return writeRoutingTrace(tracePath, seed, small)
+		if err := writeRoutingTrace(tracePath, seed, small); err != nil {
+			return err
+		}
 	}
+	if timeseriesPath != "" {
+		return writeRoutingTimeseries(timeseriesPath, seed, small, shards, cmpUnsharded)
+	}
+	return nil
+}
+
+// writeRoutingTimeseries executes one dedicated routing run with the
+// windowed time-series collector attached — the sweep cells stay
+// uninstrumented — and writes the series as JSON plus a CSV sibling.
+// When verifyUnsharded is set and the run used the sharded kernel, the
+// identical run repeats on the serial kernel and the two JSON exports
+// must match byte for byte: the determinism oracle extended to the
+// telemetry layer itself.
+func writeRoutingTimeseries(path string, seed int64, small bool, shards int, verifyUnsharded bool) error {
+	sc, err := experiments.ScenarioByName("L4")
+	if err != nil {
+		return err
+	}
+	const instances = 4
+	ds := experiments.RoutingDatasets(seed, small)[0] // the Zipf-skewed scenario
+	sat, err := experiments.SaturationQPS(experiments.PrefillOnly, sc, ds.Clone())
+	if err != nil {
+		return fmt.Errorf("timeseries saturation on %s: %w", ds.Name, err)
+	}
+	rc := experiments.RoutingRunConfig{
+		Policy: experiments.AffinityLoadPolicy, Scenario: sc,
+		QPS: sat * instances / 2 * 0.9, Seed: seed, Instances: instances,
+	}
+	runOnce := func(shards int) (*experiments.RoutingRunResult, *timeseries.Collector, []byte, error) {
+		c := rc
+		c.Dataset = ds.Clone()
+		c.Shards = shards
+		res, ts, err := experiments.TimeseriesRoutingRun(c, 0)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		var buf bytes.Buffer
+		if err := ts.WriteJSON(&buf); err != nil {
+			return nil, nil, nil, err
+		}
+		return res, ts, buf.Bytes(), nil
+	}
+	res, ts, out, err := runOnce(shards)
+	if err != nil {
+		return err
+	}
+	if verifyUnsharded && shards > 1 {
+		_, _, serialOut, err := runOnce(1)
+		if err != nil {
+			return fmt.Errorf("unsharded timeseries run: %w", err)
+		}
+		if !bytes.Equal(out, serialOut) {
+			return fmt.Errorf("determinism violation: %d-shard time-series diverges from serial kernel's", shards)
+		}
+		fmt.Printf("timeseries comparison: %d shards vs serial kernel byte-identical\n", shards)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	csvPath := strings.TrimSuffix(path, filepath.Ext(path)) + ".csv"
+	f, err := os.Create(csvPath)
+	if err != nil {
+		return err
+	}
+	if err := ts.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s and %s: %d windows over %d completed + %d rejected requests\n",
+		path, csvPath, len(ts.Windows()), res.Completed, res.Rejected)
 	return nil
 }
 
@@ -682,9 +786,24 @@ func kernelExp(small bool, shards int, jsonPath string) error {
 		return err
 	}
 	w = header(fmt.Sprintf("Kernel: shard scaling, %d chains x %d events", res.ShardChains, res.ShardEvents))
-	fmt.Fprintln(w, "shards\tevents/sec\tspeedup vs serial\tallocs/event")
+	fmt.Fprintln(w, "shards\tevents/sec\tspeedup vs serial\tallocs/event\twindows\tbound coord/lookahead\tmean stall")
 	for _, r := range res.ShardScaling {
-		fmt.Fprintf(w, "%d\t%.0f\t%.2fx\t%.2f\n", r.Shards, r.EventsPerSec, r.Speedup, r.AllocsPerEvent)
+		if r.Kernel == nil {
+			fmt.Fprintf(w, "%d\t%.0f\t%.2fx\t%.2f\t-\t-\t-\n", r.Shards, r.EventsPerSec, r.Speedup, r.AllocsPerEvent)
+			continue
+		}
+		var busy, stall uint64
+		for _, sh := range r.Kernel.Shards {
+			busy += sh.BusyNanos
+			stall += sh.StallNanos
+		}
+		meanStall := 0.0
+		if busy+stall > 0 {
+			meanStall = float64(stall) / float64(busy+stall)
+		}
+		fmt.Fprintf(w, "%d\t%.0f\t%.2fx\t%.2f\t%d\t%d/%d\t%.0f%%\n",
+			r.Shards, r.EventsPerSec, r.Speedup, r.AllocsPerEvent,
+			r.Kernel.Windows, r.Kernel.WindowsBoundByCoordinator, r.Kernel.WindowsBoundByLookahead, 100*meanStall)
 	}
 	if err := w.Flush(); err != nil {
 		return err

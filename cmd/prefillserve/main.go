@@ -7,7 +7,7 @@
 //	             [-max-input-len 20000] [-lambda 500] [-speedup 1000]
 //	             [-instances 1] [-routing affinity] [-max-backlog 0]
 //	             [-batch-max-backlog 0] [-batch-weight 0]
-//	             [-autoscale] [-min-instances 1] [-trace]
+//	             [-autoscale] [-min-instances 1] [-trace] [-timeseries]
 //
 // With -autoscale, -instances is the pool ceiling: the cluster starts at
 // -min-instances engines and scales elastically from live backlog and
@@ -33,7 +33,11 @@
 // (Prometheus text format). With -trace, the sim-time flight recorder is
 // enabled and /v1/trace serves the recent request lifecycle as Chrome
 // trace-event JSON — save it and open in https://ui.perfetto.dev or
-// chrome://tracing.
+// chrome://tracing. With -timeseries, the windowed sim-time-series
+// collector is enabled and /v1/timeseries serves per-window throughput,
+// latency quantiles, shed rates, fleet gauges and per-class SLO burn
+// rate as JSON (-timeseries-interval sets the window width in simulated
+// seconds).
 package main
 
 import (
@@ -61,6 +65,8 @@ func main() {
 	minInstances := flag.Int("min-instances", 1, "elastic pool floor (requires -autoscale)")
 	traceOn := flag.Bool("trace", false, "enable the sim-time flight recorder and the /v1/trace endpoint")
 	traceSpans := flag.Int("trace-spans", 0, "flight-recorder ring depth (0 = default, requires -trace)")
+	tsOn := flag.Bool("timeseries", false, "enable the windowed sim-time-series collector and the /v1/timeseries endpoint")
+	tsInterval := flag.Float64("timeseries-interval", 0, "time-series window width in simulated seconds (0 = one wall second, i.e. -speedup sim seconds; requires -timeseries)")
 	flag.Parse()
 
 	m, ok := prefillonly.Models()[*modelName]
@@ -86,6 +92,17 @@ func main() {
 		}
 	} else if *traceSpans != 0 {
 		log.Fatal("-trace-spans requires -trace")
+	}
+	if *tsOn {
+		scfg.TimeseriesSeconds = *tsInterval
+		if scfg.TimeseriesSeconds == 0 {
+			// Windows are sim-time, and the server clock free-runs at
+			// -speedup sim seconds per wall second: default to one window
+			// per wall second so the series ticks at human pace.
+			scfg.TimeseriesSeconds = *speedup
+		}
+	} else if *tsInterval != 0 {
+		log.Fatal("-timeseries-interval requires -timeseries")
 	}
 	if *batchWeight != 0 {
 		if *batchWeight <= 1 {
@@ -136,6 +153,10 @@ func main() {
 	}
 	if *traceOn {
 		fmt.Println("prefillserve: flight recorder on — fetch /v1/trace and open in https://ui.perfetto.dev")
+	}
+	if *tsOn {
+		fmt.Printf("prefillserve: time-series collector on (%gs windows) — fetch /v1/timeseries\n",
+			scfg.TimeseriesSeconds)
 	}
 	fmt.Printf("prefillserve: listening on %s\n", *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))

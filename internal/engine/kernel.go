@@ -103,6 +103,16 @@ func (k *Kernel) Executed() uint64 {
 	return k.sharded.Executed()
 }
 
+// Stats returns the kernel's self-profile: windows advanced, bound-clamp
+// causes, window-width and barrier-stall histograms, and the per-shard
+// breakdown (degenerate — coordinator events only — in serial mode).
+func (k *Kernel) Stats() sim.KernelStats {
+	if k.sharded == nil {
+		return k.serial.Stats()
+	}
+	return k.sharded.Stats()
+}
+
 // CompletionSinks adapts a run's shared completion sink (router
 // accounting + record append — shared, ordered state) to the kernel. In
 // serial mode every instance gets the sink directly. In sharded mode each

@@ -56,6 +56,76 @@ type KernelShardRow struct {
 	EventsPerSec   float64 `json:"events_per_sec"`
 	Speedup        float64 `json:"speedup_vs_serial"`
 	AllocsPerEvent float64 `json:"allocs_per_event"`
+	// Kernel is the sharded kernel's self-profile for this row (absent on
+	// the serial baseline): why the measured speedup is what it is —
+	// window widths, which bound clamped them, and where shards stalled.
+	Kernel *KernelProfile `json:"kernel,omitempty"`
+}
+
+// KernelProfile is sim.KernelStats rendered for the JSON artifact.
+type KernelProfile struct {
+	LookaheadSeconds  float64 `json:"lookahead_seconds"`
+	CoordinatorEvents uint64  `json:"coordinator_events"`
+	TotalEvents       uint64  `json:"total_events"`
+	Windows           uint64  `json:"windows"`
+	// WindowsBoundByCoordinator counts windows clamped by the next
+	// coordinator event; WindowsBoundByLookahead counts windows that
+	// opened to the full lookahead.
+	WindowsBoundByCoordinator uint64 `json:"windows_bound_by_coordinator"`
+	WindowsBoundByLookahead   uint64 `json:"windows_bound_by_lookahead"`
+	// WindowWidthBounds are the width histogram's bucket upper bounds as
+	// fractions of the lookahead; WindowWidthHist the per-bucket counts.
+	WindowWidthBounds []float64 `json:"window_width_bounds_of_lookahead"`
+	WindowWidthHist   []uint64  `json:"window_width_hist"`
+	// BarrierStallBoundsNanos are the stall histogram's bucket upper
+	// bounds in wall nanoseconds (final 0 = unbounded);
+	// BarrierStallHist counts one observation per active shard per
+	// parallel window.
+	BarrierStallBoundsNanos []float64      `json:"barrier_stall_bounds_nanos"`
+	BarrierStallHist        []uint64       `json:"barrier_stall_hist"`
+	Shards                  []ShardProfile `json:"shards"`
+}
+
+// ShardProfile is one shard's slice of the profile.
+type ShardProfile struct {
+	ID         int    `json:"id"`
+	Events     uint64 `json:"events"`
+	Windows    uint64 `json:"windows"`
+	BusyNanos  uint64 `json:"busy_nanos"`
+	StallNanos uint64 `json:"stall_nanos"`
+	// StallFraction is StallNanos / (BusyNanos + StallNanos): the share
+	// of the shard's in-window wall time spent waiting at barriers.
+	StallFraction float64 `json:"stall_fraction"`
+}
+
+// KernelProfileFrom renders kernel stats into the JSON artifact shape.
+func KernelProfileFrom(st sim.KernelStats) *KernelProfile {
+	p := &KernelProfile{
+		LookaheadSeconds:          st.Lookahead,
+		CoordinatorEvents:         st.CoordinatorEvents,
+		TotalEvents:               st.TotalEvents,
+		Windows:                   st.Windows,
+		WindowsBoundByCoordinator: st.BoundCoordinator,
+		WindowsBoundByLookahead:   st.BoundLookahead,
+		WindowWidthBounds:         sim.WindowWidthBounds(),
+		WindowWidthHist:           append([]uint64(nil), st.WindowWidth[:]...),
+		BarrierStallBoundsNanos:   sim.StallBoundsNanos(),
+		BarrierStallHist:          append([]uint64(nil), st.BarrierStall[:]...),
+	}
+	for _, sh := range st.ShardStats {
+		sp := ShardProfile{
+			ID:         sh.ID,
+			Events:     sh.Events,
+			Windows:    sh.Windows,
+			BusyNanos:  sh.BusyNanos,
+			StallNanos: sh.StallNanos,
+		}
+		if tot := sh.BusyNanos + sh.StallNanos; tot > 0 {
+			sp.StallFraction = float64(sh.StallNanos) / float64(tot)
+		}
+		p.Shards = append(p.Shards, sp)
+	}
+	return p
 }
 
 // kernelChain is the fast-path payload: each firing reschedules itself,
@@ -232,6 +302,7 @@ func KernelBench(events int, shardCounts []int) (*KernelBenchResult, error) {
 			return nil, fmt.Errorf("experiments: shard count must be >= 1, got %d", n)
 		}
 		var eps, ape float64
+		var prof *KernelProfile
 		if n == 1 {
 			eps, ape = shardMeasure(func() uint64 {
 				var s sim.Sim
@@ -248,13 +319,14 @@ func KernelBench(events int, shardCounts []int) (*KernelBenchResult, error) {
 					func(i int) sim.Clock { return p.Shard(i % n) },
 					func(i int) func(float64, sim.Func, any) { return p.Shard(i % n).Post })
 				p.Run()
+				prof = KernelProfileFrom(p.Stats())
 				return p.Executed()
 			})
 		}
 		if n == 1 {
 			serialEPS = eps
 		}
-		row := KernelShardRow{Shards: n, EventsPerSec: eps, AllocsPerEvent: ape}
+		row := KernelShardRow{Shards: n, EventsPerSec: eps, AllocsPerEvent: ape, Kernel: prof}
 		if serialEPS > 0 {
 			row.Speedup = eps / serialEPS
 		}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/router"
 	"repro/internal/sched"
+	"repro/internal/timeseries"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -66,6 +67,10 @@ type RoutingRunConfig struct {
 	// gauges into the flight recorder (export with WriteTrace). The sweep
 	// paths leave it nil so their cells stay deterministic and lean.
 	Tracer *trace.Recorder
+	// Timeseries, when non-nil, collects the run's windowed series. The
+	// run installs its own gauge sampler and boundary ticker on the
+	// collector; callers just construct it with the interval they want.
+	Timeseries *timeseries.Collector
 	// Shards selects the event kernel: <= 1 serial, >= 2 the sharded
 	// kernel with that many workers. Results are identical either way.
 	Shards int
@@ -134,6 +139,9 @@ func RoutingRunPolicy(rc RoutingRunConfig, pol router.Policy) (*RoutingRunResult
 			rt.Completed(r)
 		}
 		recs = append(recs, r)
+		// Pass the record's own finish time: under the sharded kernel this
+		// sink runs at window barriers, after the coordinator clock moved on.
+		rc.Timeseries.Complete(r.Finish, r.Req.Class, r.Latency())
 	})
 	engines := make([]engine.Engine, instances)
 	for i := range engines {
@@ -157,9 +165,28 @@ func RoutingRunPolicy(rc RoutingRunConfig, pol router.Policy) (*RoutingRunResult
 		return nil, err
 	}
 
+	clock := kern.Clock()
+	if rc.Timeseries != nil {
+		instCount := instances
+		rc.Timeseries.SetSample(func(now float64) timeseries.Gauges {
+			var g timeseries.Gauges
+			for _, info := range rt.InstanceInfos() {
+				g.QueuedRequests += info.Load.QueuedRequests
+				g.BacklogSeconds += info.Load.BacklogSeconds
+			}
+			g.PoolSize = rt.Routable()
+			g.CacheHitRatio = clusterHitRate(engines)
+			g.GPUSeconds = now * float64(instCount)
+			return g
+		})
+		rc.Timeseries.Attach(clock)
+	}
+
 	rejected := 0
 	var submitErr error
 	submit := func(r *sched.Request) {
+		rc.Timeseries.Arrival(clock.Now(), r.Class)
+		rc.Timeseries.Start()
 		err := rt.Submit(r)
 		if err == nil {
 			return
@@ -171,6 +198,7 @@ func RoutingRunPolicy(rc RoutingRunConfig, pol router.Policy) (*RoutingRunResult
 		var rej *router.RejectError
 		if errors.As(err, &rej) {
 			rejected++
+			rc.Timeseries.Reject(clock.Now(), rej.Class, rej.Reason)
 		} else if submitErr == nil {
 			submitErr = err
 		}

@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"repro/internal/timeseries"
+)
+
+// TimeseriesRoutingRun is RoutingRun with a fresh windowed time-series
+// collector attached (intervalSeconds <= 0 takes the default window):
+// one instrumented run whose per-window throughput, arrival and shed
+// rates, latency quantiles, fleet gauges and SLO burn rate land in the
+// returned collector, ready for WriteJSON/WriteCSV. The collector never
+// perturbs the run — results are bit-identical with it detached.
+func TimeseriesRoutingRun(rc RoutingRunConfig, intervalSeconds float64) (*RoutingRunResult, *timeseries.Collector, error) {
+	rc.Timeseries = timeseries.New(timeseries.Config{IntervalSeconds: intervalSeconds})
+	res, err := RoutingRun(rc)
+	return res, rc.Timeseries, err
+}

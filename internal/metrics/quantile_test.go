@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramQuantile pins the Prometheus-style estimator the
+// time-series collector serves: linear interpolation inside the target
+// bucket, the lowest bucket interpolating from 0, and values past the
+// last finite bound clamping to it.
+func TestHistogramQuantile(t *testing.T) {
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Fatalf("empty snapshot quantile = %g, want 0", got)
+	}
+
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// Counts: (0,1]=1, (1,2]=2, (2,4]=1. rank(p) = 4p.
+	cases := []struct{ p, want float64 }{
+		{0.25, 1},         // rank 1 ends bucket 1: 0 + 1*(1/1)
+		{0.5, 1.5},        // rank 2, 1 below bucket 2: 1 + 1*(1/2)
+		{0.75, 2},         // rank 3 ends bucket 2
+		{1.0, 4},          // rank 4 ends the last bucket
+		{0.125, 0.5},      // rank 0.5, halfway into the lowest bucket from 0
+		{-1, 0},           // p clamps low; rank 0 interpolates to the bucket floor
+		{2, 4},            // p clamps high
+		{0.8125, 2 + 0.5}, // rank 3.25, quarter into (2,4]
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Quantile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+
+	// Observations past every finite bound land in the implicit +Inf
+	// bucket; quantiles that fall there clamp to the last finite bound.
+	h2 := NewHistogram([]float64{1, 2})
+	h2.Observe(0.5)
+	h2.Observe(100)
+	if got := h2.Snapshot().Quantile(0.99); got != 2 {
+		t.Fatalf("overflow quantile = %g, want clamp to 2", got)
+	}
+
+	// The containment guarantee the windowed property test relies on: the
+	// estimate lands in the bucket holding the nearest-rank observation.
+	h3 := NewHistogram(DefLatencyBuckets)
+	obs := []float64{0.02, 0.03, 0.2, 0.3, 0.7, 3, 3, 8, 40, 90}
+	for _, v := range obs {
+		h3.Observe(v)
+	}
+	s3 := h3.Snapshot()
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.99} {
+		rank := int(math.Ceil(p*float64(len(obs)))) - 1
+		exact := obs[rank]
+		lo, hi := 0.0, DefLatencyBuckets[len(DefLatencyBuckets)-1]
+		for _, b := range DefLatencyBuckets {
+			if exact <= b {
+				hi = b
+				break
+			}
+			lo = b
+		}
+		if got := s3.Quantile(p); got < lo || got > hi {
+			t.Fatalf("Quantile(%g) = %g escapes bucket [%g, %g] of exact %g", p, got, lo, hi, exact)
+		}
+	}
+}

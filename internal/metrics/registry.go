@@ -234,12 +234,65 @@ func (h *Histogram) Observe(v float64) {
 	h.mu.Unlock()
 }
 
+// Reset zeroes the histogram's counts and sum, keeping its buckets. The
+// time-series engine snapshots and resets one histogram per window, so
+// per-window quantiles stream through fixed storage instead of retaining
+// every observation.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.sum = 0
+	h.count = 0
+	h.mu.Unlock()
+}
+
 // HistogramSnapshot is a point-in-time copy of a histogram.
 type HistogramSnapshot struct {
 	Buckets []float64
 	Counts  []uint64 // per-bucket counts, same length as Buckets
 	Sum     float64
 	Count   uint64
+}
+
+// Quantile estimates the p-quantile (0 <= p <= 1) from the snapshot's
+// buckets, interpolating linearly within the bucket the quantile falls in
+// (the lowest bucket interpolates from 0, the way Prometheus's
+// histogram_quantile does). Values past the last finite bound clamp to
+// it, and an empty snapshot yields 0. The estimate is exact to bucket
+// resolution: it always lands inside the bucket that contains the true
+// quantile (the guarantee the windowed-quantile property test pins).
+func (s HistogramSnapshot) Quantile(p float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(s.Count)
+	var cum, inBucket uint64
+	for i, le := range s.Buckets {
+		cum += s.Counts[i]
+		if float64(cum) >= rank {
+			inBucket = s.Counts[i]
+			lo := 0.0
+			if i > 0 {
+				lo = s.Buckets[i-1]
+			}
+			if inBucket == 0 {
+				return le
+			}
+			below := float64(cum - inBucket)
+			return lo + (le-lo)*((rank-below)/float64(inBucket))
+		}
+	}
+	// The quantile falls in the implicit +Inf bucket: clamp to the last
+	// finite bound, the most honest answer fixed buckets can give.
+	return s.Buckets[len(s.Buckets)-1]
 }
 
 // Snapshot returns a copy of the histogram's state.

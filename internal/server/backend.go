@@ -7,6 +7,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/router"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/timeseries"
 	"repro/internal/tokenizer"
 	"repro/internal/trace"
 )
@@ -50,6 +52,7 @@ type Backend struct {
 	rt      *router.Router        // nil in single-engine mode
 	ctl     *autoscale.Controller // nil without autoscaling
 	rec     *trace.Recorder       // nil unless tracing enabled
+	ts      *timeseries.Collector // nil unless EnableTimeseries was called
 	started time.Time
 	nextID  int64
 	waiters map[int64]chan Result
@@ -364,6 +367,7 @@ func (b *Backend) onComplete(rec engine.Record) {
 	if c := int(rec.Req.Class); c < len(b.latency) {
 		b.latency[c].Observe(rec.Latency())
 	}
+	b.ts.Complete(rec.Finish, rec.Req.Class, rec.Latency())
 	ch, ok := b.waiters[rec.Req.ID]
 	if !ok {
 		return
@@ -427,6 +431,91 @@ func (b *Backend) sampleGauges() {
 	b.rec.SampleCaches(now)
 }
 
+// EnableTimeseries attaches a windowed time-series collector with the
+// given window width in simulated seconds (<= 0 takes the collector's
+// default). Unlike batch simulations, the server schedules no boundary
+// ticker: its clock free-runs at Speedup sim-seconds per wall second
+// even when idle, so boundary events would dominate the kernel. Windows
+// close lazily instead — on request events and on /v1/timeseries
+// scrapes — which the collector's bounded idle-gap catch-up keeps O(1)
+// per close. Call it once, before serving traffic.
+func (b *Backend) EnableTimeseries(intervalSeconds float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.ts != nil {
+		return
+	}
+	b.ts = timeseries.New(timeseries.Config{
+		IntervalSeconds: intervalSeconds,
+		Sample:          b.timeseriesGauges,
+	})
+}
+
+// timeseriesGauges samples fleet state for the collector. It runs with
+// b.mu held: either from a collector tick inside the clock loop's
+// RunUntil, or from a snapshot under Timeseries.
+func (b *Backend) timeseriesGauges(now float64) timeseries.Gauges {
+	var g timeseries.Gauges
+	if b.rt != nil {
+		for _, info := range b.rt.InstanceInfos() {
+			g.QueuedRequests += info.Load.QueuedRequests
+			g.BacklogSeconds += info.Load.BacklogSeconds
+		}
+		g.PoolSize = b.rt.Routable()
+		if b.ctl != nil {
+			g.PendingInstances = b.ctl.Size() - b.rt.Routable()
+		}
+	} else {
+		g.QueuedRequests = len(b.waiters)
+		g.PoolSize = 1
+	}
+	g.GPUSeconds = b.gpuSeconds(now)
+	var lookup, hit int64
+	for _, eng := range b.engines {
+		if c := eng.Cache(); c != nil {
+			st := c.Stats()
+			lookup += st.LookupTokens
+			hit += st.HitTokens
+		}
+	}
+	if lookup > 0 {
+		g.CacheHitRatio = float64(hit) / float64(lookup)
+	}
+	return g
+}
+
+// gpuSeconds is the fleet's cumulative GPU-seconds at sim time now: the
+// controller's accrued integral when autoscaled, else fleet size × time.
+// Caller holds b.mu.
+func (b *Backend) gpuSeconds(now float64) float64 {
+	if b.ctl != nil {
+		return b.ctl.GPUSeconds(now)
+	}
+	gpus := 0
+	for _, eng := range b.engines {
+		gpus += eng.GPUs()
+	}
+	return now * float64(gpus)
+}
+
+// Timeseries renders the collector's series as of the current simulated
+// time (zero Export when EnableTimeseries was never called). It takes
+// the backend lock, so the snapshot's gauges are consistent with the
+// rows.
+func (b *Backend) Timeseries() (timeseries.Export, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.ts == nil {
+		return timeseries.Export{}, false
+	}
+	// Close windows the free-running clock has passed (the server has no
+	// boundary ticker), then snapshot: scrapes see every elapsed window
+	// plus a partial row for the open one.
+	now := b.sim.Now()
+	b.ts.Advance(now)
+	return b.ts.Snapshot(now), true
+}
+
 // Trace exposes the backend's flight recorder (nil unless tracing is
 // enabled via the engine Config's Tracer).
 func (b *Backend) Trace() *trace.Recorder { return b.rec }
@@ -480,10 +569,15 @@ func (b *Backend) SubmitClass(prompt string, allowed []string, userID int, class
 		AllowedTokens: allowed,
 		Class:         class,
 	}
+	b.ts.Arrival(b.sim.Now(), class)
 	b.waiters[id] = ch
 	if b.rt != nil {
 		if err := b.rt.Submit(r); err != nil {
 			delete(b.waiters, id)
+			var rej *router.RejectError
+			if errors.As(err, &rej) {
+				b.ts.Reject(b.sim.Now(), rej.Class, rej.Reason)
+			}
 			b.mu.Unlock()
 			return Result{}, fmt.Errorf("server: %w", err)
 		}

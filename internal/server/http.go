@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/router"
 	"repro/internal/sched"
+	"repro/internal/timeseries"
 )
 
 // CompletionRequest is the accepted subset of the OpenAI completions API,
@@ -96,6 +97,7 @@ func NewHandler(b *Backend, modelName string) *Handler {
 	h.mux.HandleFunc("/v1/stats", readOnly(h.stats))
 	h.mux.HandleFunc("/v1/metrics", readOnly(h.metrics))
 	h.mux.HandleFunc("/v1/trace", readOnly(h.trace))
+	h.mux.HandleFunc("/v1/timeseries", readOnly(h.timeseries))
 	h.mux.HandleFunc("/healthz", readOnly(func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -161,6 +163,21 @@ func (h *Handler) trace(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_ = rec.WriteTrace(w)
+}
+
+// timeseries serves the windowed sim-time series as JSON — every closed
+// window plus a partial row for the open one — or 404 when the collector
+// is disabled. Snapshots are side-effect-free, so scraping mid-window is
+// safe.
+func (h *Handler) timeseries(w http.ResponseWriter, r *http.Request) {
+	exp, ok := h.Backend.Timeseries()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{"time-series disabled (start the server with -timeseries)"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = timeseries.WriteJSON(w, exp)
 }
 
 func (h *Handler) completions(w http.ResponseWriter, r *http.Request) {

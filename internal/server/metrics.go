@@ -2,6 +2,7 @@ package server
 
 import (
 	"strconv"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/sched"
@@ -14,6 +15,7 @@ import (
 const (
 	famSimSeconds    = "prefill_sim_seconds"
 	famSimEvents     = "prefill_sim_events_total"
+	famSimEventRate  = "prefill_sim_events_per_second"
 	famAdmission     = "prefill_admission_decisions_total"
 	famRejects       = "prefill_admission_rejects_total"
 	famQueueDepth    = "prefill_instance_queued_requests"
@@ -31,6 +33,7 @@ const (
 	famLatency       = "prefill_request_latency_seconds"
 	famTraceSpans    = "prefill_trace_spans_total"
 	famTraceDropped  = "prefill_trace_spans_dropped_total"
+	famTSWindows     = "prefill_timeseries_windows_total"
 )
 
 // Metrics renders a consistent snapshot of the serving cluster as a
@@ -48,6 +51,11 @@ func (b *Backend) Metrics() *metrics.Registry {
 	reg.Family(famSimSeconds, "Simulated time in seconds.", metrics.TypeGauge).Add(now)
 	reg.Family(famSimEvents, "Events executed by the simulation kernel.", metrics.TypeCounter).
 		Add(float64(b.sim.Executed()))
+	rate := reg.Family(famSimEventRate,
+		"Kernel event throughput: events executed per wall second of uptime.", metrics.TypeGauge)
+	if uptime := time.Since(b.started).Seconds(); uptime > 0 {
+		rate.Add(float64(b.sim.Executed()) / uptime)
+	}
 
 	admission := reg.Family(famAdmission,
 		"Routing admission decisions by policy, SLO class and decision.", metrics.TypeCounter)
@@ -135,12 +143,14 @@ func (b *Backend) Metrics() *metrics.Registry {
 	default:
 		pool.Add(1)
 	}
+	// Monotonic in every mode: the controller's accrued integral when
+	// autoscaled, fleet size × sim time for a fixed fleet.
+	gpuSeconds.Add(b.gpuSeconds(now))
 	if b.ctl != nil {
 		st := b.ctl.Stats()
 		scaleUps.Add(float64(st.ScaleUps))
 		scaleDowns.Add(float64(st.ScaleDowns))
 		revives.Add(float64(st.Revives))
-		gpuSeconds.Add(b.ctl.GPUSeconds(now))
 	}
 
 	latency := reg.Family(famLatency,
@@ -164,6 +174,12 @@ func (b *Backend) Metrics() *metrics.Registry {
 			}
 		}
 		droppedF.Add(float64(b.rec.Dropped()))
+	}
+
+	tsWindows := reg.Family(famTSWindows,
+		"Time-series windows closed by the collector.", metrics.TypeCounter)
+	if b.ts != nil {
+		tsWindows.Add(float64(b.ts.ClosedWindows()))
 	}
 	return reg
 }

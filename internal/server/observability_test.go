@@ -26,7 +26,7 @@ func TestReadOnlyMethodGuards(t *testing.T) {
 	defer srv.Close()
 	client := srv.Client()
 
-	endpoints := []string{"/healthz", "/v1/models", "/v1/stats", "/v1/metrics", "/v1/trace"}
+	endpoints := []string{"/healthz", "/v1/models", "/v1/stats", "/v1/metrics", "/v1/trace", "/v1/timeseries"}
 	for _, ep := range endpoints {
 		for _, method := range []string{http.MethodPost, http.MethodPut, http.MethodDelete} {
 			req, err := http.NewRequest(method, srv.URL+ep, strings.NewReader("{}"))

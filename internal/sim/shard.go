@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 )
 
 // ShardedSim executes one simulation across N event shards plus a
@@ -61,6 +62,14 @@ type ShardedSim struct {
 
 	active  []*Shard // per-window scratch, reused
 	running bool
+
+	// self-profile (see stats.go): plain counters and fixed arrays, so
+	// profiling never allocates and never perturbs event order.
+	windows    uint64
+	boundCoord uint64
+	boundLook  uint64
+	widthHist  [NumWidthBuckets]uint64
+	stallHist  [NumStallBuckets]uint64
 
 	windowWG sync.WaitGroup
 	workerWG sync.WaitGroup
@@ -211,30 +220,51 @@ func (p *ShardedSim) Run() float64 {
 		bound := smin + p.lookahead
 		if cmin < bound {
 			bound = cmin
+			p.boundCoord++
+		} else {
+			p.boundLook++
 		}
+		p.windows++
+		p.widthHist[widthBucket((bound-smin)/p.lookahead)]++
 		p.active = p.active[:0]
 		for _, sh := range p.shards {
 			if sh.heap.minTime() < bound {
 				p.active = append(p.active, sh)
+				sh.windows++
 			}
 		}
 		if !multi || len(p.active) == 1 {
 			// A single active shard (or a 1-shard kernel) runs inline on
-			// the coordinator goroutine: same semantics, no handoff cost.
+			// the coordinator goroutine: same semantics, no handoff cost,
+			// and by definition no barrier stall.
 			for _, sh := range p.active {
-				sh.runWindow(bound)
+				sh.runTimedWindow(bound)
 			}
 		} else {
 			// The coordinator signals the other active shards, runs the
 			// first one itself, then waits at the barrier. Channel send /
 			// WaitGroup wait establish the happens-before edges in both
 			// directions, so shard state needs no atomics.
+			start := time.Now()
 			p.windowWG.Add(len(p.active) - 1)
 			for _, sh := range p.active[1:] {
 				sh.work <- bound
 			}
-			p.active[0].runWindow(bound)
+			p.active[0].runTimedWindow(bound)
 			p.windowWG.Wait()
+			// Per-shard stall: the window's wall duration minus the time
+			// the shard itself was busy — how long it sat idle waiting for
+			// the slowest shard. lastBusy is safe to read here: the
+			// barrier's WaitGroup established the happens-before edge.
+			wall := uint64(time.Since(start))
+			for _, sh := range p.active {
+				var stall uint64
+				if sh.lastBusy < wall {
+					stall = wall - sh.lastBusy
+				}
+				sh.stallNanos += stall
+				p.stallHist[stallBucket(stall)]++
+			}
 		}
 
 		p.mergeOutboxes()
@@ -281,7 +311,7 @@ func (p *ShardedSim) startWorkers() {
 		go func(sh *Shard) {
 			defer p.workerWG.Done()
 			for bound := range sh.work {
-				sh.runWindow(bound)
+				sh.runTimedWindow(bound)
 				p.windowWG.Done()
 			}
 		}(sh)
@@ -320,6 +350,14 @@ type Shard struct {
 	heap     eventHeap
 	outbox   []outboxEntry
 	work     chan float64
+
+	// self-profile (see stats.go). lastBusy is the most recent window's
+	// wall duration, written by the shard's executor and read by the
+	// coordinator after the barrier (WaitGroup edges order both).
+	windows    uint64
+	busyNanos  uint64
+	stallNanos uint64
+	lastBusy   uint64
 }
 
 var _ Clock = (*Shard)(nil)
@@ -386,6 +424,15 @@ func (sh *Shard) Post(t float64, fn Func, arg any) {
 		panic("sim: cross-shard event posted inside the lookahead window")
 	}
 	sh.outbox = append(sh.outbox, outboxEntry{time: t, fn: fn, arg: arg})
+}
+
+// runTimedWindow is runWindow wrapped in the wall-clock busy measurement
+// the barrier-stall profile needs.
+func (sh *Shard) runTimedWindow(bound float64) {
+	start := time.Now()
+	sh.runWindow(bound)
+	sh.lastBusy = uint64(time.Since(start))
+	sh.busyNanos += sh.lastBusy
 }
 
 // runWindow drains the shard's events with time < bound. The strict

@@ -1,0 +1,240 @@
+package timeseries
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
+
+// ClassWindow is one class's slice of a window.
+type ClassWindow struct {
+	Class       string `json:"class"`
+	Arrivals    uint64 `json:"arrivals"`
+	Completions uint64 `json:"completions"`
+	Rejects     uint64 `json:"rejects,omitempty"`
+	// P50/P90/P99 are streaming-histogram latency quantile estimates in
+	// seconds, exact to bucket resolution (zero when the window had no
+	// completions of this class).
+	P50Seconds float64 `json:"p50_seconds"`
+	P90Seconds float64 `json:"p90_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
+	// SLOGood counts completions within the class's latency target.
+	SLOGood uint64 `json:"slo_good"`
+	// Attainment is SLOGood/Completions for this window alone (1 when
+	// the window had no completions — nothing violated).
+	Attainment float64 `json:"attainment"`
+	// RollingAttainment averages attainment over the trailing
+	// RollingWindows windows, weighted by completions.
+	RollingAttainment float64 `json:"rolling_attainment"`
+	// BurnRate is (1 - RollingAttainment) / (1 - SLOObjective): the rate
+	// the error budget burns at, >1 meaning faster than the objective
+	// allows.
+	BurnRate float64 `json:"burn_rate"`
+}
+
+// Window is one closed (or snapshot-partial) aggregation interval.
+type Window struct {
+	Index        int64   `json:"index"`
+	StartSeconds float64 `json:"start_seconds"`
+	EndSeconds   float64 `json:"end_seconds"`
+	// Partial marks a snapshot of the still-open window; its counters
+	// cover [StartSeconds, EndSeconds) with EndSeconds = snapshot time.
+	Partial         bool              `json:"partial,omitempty"`
+	Arrivals        uint64            `json:"arrivals"`
+	ArrivalRPS      float64           `json:"arrival_rps"`
+	Completions     uint64            `json:"completions"`
+	ThroughputRPS   float64           `json:"throughput_rps"`
+	Rejects         uint64            `json:"rejects"`
+	RejectsByReason map[string]uint64 `json:"rejects_by_reason,omitempty"`
+	// ShedRate is Rejects/Arrivals within the window.
+	ShedRate float64 `json:"shed_rate"`
+	// Gauges sampled as the window closed.
+	QueuedRequests   int     `json:"queued_requests"`
+	BacklogSeconds   float64 `json:"backlog_seconds"`
+	PoolSize         int     `json:"pool_size"`
+	PendingInstances int     `json:"pending_instances"`
+	CacheHitRatio    float64 `json:"cache_hit_ratio"`
+	GPUSecondsTotal  float64 `json:"gpu_seconds_total"`
+
+	Classes [sched.NumClasses]ClassWindow `json:"classes"`
+}
+
+// Export is the full serialized series.
+type Export struct {
+	IntervalSeconds  float64            `json:"interval_seconds"`
+	SLOObjective     float64            `json:"slo_objective"`
+	SLOTargetSeconds map[string]float64 `json:"slo_target_seconds"`
+	// LatencyBucketsSeconds are the streaming histogram's bounds — the
+	// resolution limit of the quantile columns.
+	LatencyBucketsSeconds []float64 `json:"latency_buckets_seconds"`
+	// DroppedWindows counts rows evicted by the MaxWindows cap.
+	DroppedWindows uint64   `json:"dropped_windows"`
+	Windows        []Window `json:"windows"`
+}
+
+// ClosedWindows returns the number of windows ever closed, including
+// rows since evicted by the MaxWindows cap — a monotonic counter.
+func (c *Collector) ClosedWindows() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped + uint64(len(c.rows))
+}
+
+// Windows returns a copy of the closed rows, oldest first.
+func (c *Collector) Windows() []Window {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Window, len(c.rows))
+	copy(out, c.rows)
+	return out
+}
+
+// Snapshot renders the series as of sim time now: every closed row plus,
+// when the open window has accumulated anything or time has advanced
+// into it, a partial row ending at now. It never closes windows — reads
+// are side-effect-free, so a server can scrape mid-window.
+func (c *Collector) Snapshot(now float64) Export {
+	if c == nil {
+		return Export{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	exp := Export{
+		IntervalSeconds:       c.interval,
+		SLOObjective:          c.objective,
+		SLOTargetSeconds:      make(map[string]float64, sched.NumClasses),
+		LatencyBucketsSeconds: metrics.DefLatencyBuckets,
+		DroppedWindows:        c.dropped,
+		Windows:               make([]Window, len(c.rows), len(c.rows)+1),
+	}
+	for i, class := range sched.Classes() {
+		exp.SLOTargetSeconds[class.String()] = c.targets[i]
+	}
+	copy(exp.Windows, c.rows)
+	start := c.windowStart(c.idx)
+	end := now
+	if end > c.windowEnd(c.idx) {
+		end = c.windowEnd(c.idx)
+	}
+	if end > start || c.arrivals > 0 || c.completions > 0 || c.rejects > 0 {
+		if end < start {
+			end = start
+		}
+		var g Gauges
+		if c.sample != nil {
+			g = c.sample(now)
+		}
+		exp.Windows = append(exp.Windows, c.buildRow(end, g, true))
+	}
+	return exp
+}
+
+// now returns the best notion of current sim time for exports: the
+// attached clock when there is one, else the latest event time seen.
+func (c *Collector) now() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.clock != nil {
+		return c.clock.Now()
+	}
+	return c.lastNow
+}
+
+// WriteJSON writes the Snapshot at the current time as indented JSON.
+func (c *Collector) WriteJSON(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	return WriteJSON(w, c.Snapshot(c.now()))
+}
+
+// WriteCSV writes the Snapshot at the current time as CSV.
+func (c *Collector) WriteCSV(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	return WriteCSV(w, c.Snapshot(c.now()))
+}
+
+// WriteJSON serializes an export as indented JSON. encoding/json sorts
+// map keys, so output is byte-deterministic for identical series.
+func WriteJSON(w io.Writer, exp Export) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(exp)
+}
+
+// csvHeader builds the flattened column list: window columns, then the
+// per-class columns prefixed with the class name.
+func csvHeader() []string {
+	cols := []string{
+		"index", "start_seconds", "end_seconds", "partial",
+		"arrivals", "arrival_rps", "completions", "throughput_rps",
+		"rejects", "rejects_by_reason", "shed_rate",
+		"queued_requests", "backlog_seconds", "pool_size",
+		"pending_instances", "cache_hit_ratio", "gpu_seconds_total",
+	}
+	for _, class := range sched.Classes() {
+		p := class.String() + "_"
+		cols = append(cols,
+			p+"arrivals", p+"completions", p+"rejects",
+			p+"p50_seconds", p+"p90_seconds", p+"p99_seconds",
+			p+"slo_good", p+"attainment", p+"rolling_attainment", p+"burn_rate")
+	}
+	return cols
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+func fmtU(v uint64) string  { return strconv.FormatUint(v, 10) }
+func fmtI(v int64) string   { return strconv.FormatInt(v, 10) }
+func fmtBool(b bool) string { return strconv.FormatBool(b) }
+func fmtReasons(m map[string]uint64) string {
+	if len(m) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(m))
+	for _, k := range metrics.SortedKeys(m) {
+		parts = append(parts, k+"="+fmtU(m[k]))
+	}
+	return strings.Join(parts, ";")
+}
+
+// WriteCSV serializes an export as CSV, one row per window, per-class
+// columns flattened with class-name prefixes.
+func WriteCSV(w io.Writer, exp Export) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader()); err != nil {
+		return err
+	}
+	for _, win := range exp.Windows {
+		rec := []string{
+			fmtI(win.Index), fmtF(win.StartSeconds), fmtF(win.EndSeconds), fmtBool(win.Partial),
+			fmtU(win.Arrivals), fmtF(win.ArrivalRPS), fmtU(win.Completions), fmtF(win.ThroughputRPS),
+			fmtU(win.Rejects), fmtReasons(win.RejectsByReason), fmtF(win.ShedRate),
+			strconv.Itoa(win.QueuedRequests), fmtF(win.BacklogSeconds), strconv.Itoa(win.PoolSize),
+			strconv.Itoa(win.PendingInstances), fmtF(win.CacheHitRatio), fmtF(win.GPUSecondsTotal),
+		}
+		for _, cwin := range win.Classes {
+			rec = append(rec,
+				fmtU(cwin.Arrivals), fmtU(cwin.Completions), fmtU(cwin.Rejects),
+				fmtF(cwin.P50Seconds), fmtF(cwin.P90Seconds), fmtF(cwin.P99Seconds),
+				fmtU(cwin.SLOGood), fmtF(cwin.Attainment), fmtF(cwin.RollingAttainment), fmtF(cwin.BurnRate))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,305 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
+
+// offlineWindow is the exact reference aggregate for one window: every
+// latency kept, percentiles computed by sorting.
+type offlineWindow struct {
+	arrivals, completions [sched.NumClasses]uint64
+	latencies             [sched.NumClasses][]float64
+}
+
+// bucketBounds returns the [lo, hi] bucket of DefLatencyBuckets that
+// contains v, with hi = the last finite bound when v overflows every
+// bucket (the histogram's +Inf clamp).
+func bucketBounds(v float64) (lo, hi float64) {
+	bs := metrics.DefLatencyBuckets
+	lo = 0
+	for _, b := range bs {
+		if v <= b {
+			return lo, b
+		}
+		lo = b
+	}
+	return bs[len(bs)-1], bs[len(bs)-1]
+}
+
+// TestStreamingQuantilesMatchOfflineSorts is the property test: drive the
+// collector with seeded random workloads and recompute every window
+// offline from the raw latencies. Counts must match exactly; each
+// streaming quantile must land inside the histogram bucket containing
+// the exact sorted percentile — bucket resolution is the promised error
+// bound. Idle gaps (empty windows) and the final partial window are part
+// of the property.
+func TestStreamingQuantilesMatchOfflineSorts(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		rng := rand.New(rand.NewSource(seed))
+		const interval = 1.0
+		const horizon = 40.0
+		c := New(Config{IntervalSeconds: interval})
+		offline := make(map[int64]*offlineWindow)
+		at := func(now float64) *offlineWindow {
+			idx := int64(now / interval)
+			w := offline[idx]
+			if w == nil {
+				w = &offlineWindow{}
+				offline[idx] = w
+			}
+			return w
+		}
+
+		now := 0.0
+		events := 0
+		for now < horizon {
+			// Exponential-ish spacing with occasional multi-window idle
+			// gaps, so some windows stay empty.
+			step := rng.Float64() * 0.3
+			if rng.Intn(12) == 0 {
+				step += 2 + rng.Float64()*3
+			}
+			now += step
+			if now >= horizon {
+				break
+			}
+			class := sched.Class(rng.Intn(sched.NumClasses))
+			c.Arrival(now, class)
+			at(now).arrivals[class]++
+			// Latencies spread across the bucket range, tails included.
+			lat := math.Pow(10, -2+4*rng.Float64())
+			c.Complete(now, class, lat)
+			w := at(now)
+			w.completions[class]++
+			w.latencies[class] = append(w.latencies[class], lat)
+			events++
+		}
+		// Close every full window; the last partial window only shows in
+		// Snapshot.
+		c.Advance(horizon)
+		exp := c.Snapshot(horizon + 0.5)
+
+		checked := 0
+		for _, win := range exp.Windows {
+			ref := offline[win.Index]
+			if ref == nil {
+				ref = &offlineWindow{}
+			}
+			for ci, cw := range win.Classes {
+				if cw.Arrivals != ref.arrivals[ci] || cw.Completions != ref.completions[ci] {
+					t.Fatalf("seed %d window %d class %s: counts %d/%d, offline %d/%d",
+						seed, win.Index, cw.Class, cw.Arrivals, cw.Completions,
+						ref.arrivals[ci], ref.completions[ci])
+				}
+				lats := append([]float64(nil), ref.latencies[ci]...)
+				sort.Float64s(lats)
+				for _, q := range []struct {
+					p   float64
+					est float64
+				}{{0.50, cw.P50Seconds}, {0.90, cw.P90Seconds}, {0.99, cw.P99Seconds}} {
+					if len(lats) == 0 {
+						if q.est != 0 {
+							t.Fatalf("seed %d window %d class %s: p%g = %g with no completions",
+								seed, win.Index, cw.Class, q.p, q.est)
+						}
+						continue
+					}
+					// Nearest-rank order statistic, the same rank
+					// convention the histogram's Quantile resolves
+					// (first cumulative count >= p*n) — interpolated
+					// percentiles can fall between two samples' buckets.
+					rank := int(math.Ceil(q.p*float64(len(lats)))) - 1
+					if rank < 0 {
+						rank = 0
+					}
+					exact := lats[rank]
+					lo, hi := bucketBounds(exact)
+					if q.est < lo-1e-12 || q.est > hi+1e-12 {
+						t.Fatalf("seed %d window %d class %s: streaming p%g = %g outside bucket [%g, %g] of exact %g",
+							seed, win.Index, cw.Class, q.p, q.est, lo, hi, exact)
+					}
+					checked++
+				}
+			}
+		}
+		if checked == 0 {
+			t.Fatalf("seed %d: no quantiles checked", seed)
+		}
+		var total uint64
+		for _, win := range exp.Windows {
+			total += win.Completions
+		}
+		if total != uint64(events) {
+			t.Fatalf("seed %d: windows account %d completions, drove %d", seed, total, events)
+		}
+	}
+}
+
+// TestEmptyWindowsAndIdleGaps checks the catch-up path: a long idle gap
+// must materialize one row per skipped window, all empty, attainment 1
+// (nothing violated), indices contiguous.
+func TestEmptyWindowsAndIdleGaps(t *testing.T) {
+	c := New(Config{IntervalSeconds: 1})
+	c.Complete(0.5, sched.ClassInteractive, 0.1)
+	c.Complete(10.5, sched.ClassInteractive, 0.1) // 10-window jump
+	c.Advance(11)
+	rows := c.Windows()
+	if len(rows) != 11 {
+		t.Fatalf("expected 11 closed windows after the gap, got %d", len(rows))
+	}
+	for i, w := range rows {
+		if w.Index != int64(i) {
+			t.Fatalf("row %d has index %d: gaps must not skip indices", i, w.Index)
+		}
+		if i != 0 && i != 10 {
+			if w.Completions != 0 {
+				t.Fatalf("idle window %d has %d completions", i, w.Completions)
+			}
+			for _, cw := range w.Classes {
+				if cw.Attainment != 1 {
+					t.Fatalf("idle window %d class %s attainment %g, want 1", i, cw.Class, cw.Attainment)
+				}
+			}
+		}
+	}
+	if rows[0].Completions != 1 || rows[10].Completions != 1 {
+		t.Fatalf("data windows lost events: %d and %d", rows[0].Completions, rows[10].Completions)
+	}
+}
+
+// TestSnapshotPartialWindow checks that the open window surfaces as a
+// partial row without closing: reads are side-effect-free.
+func TestSnapshotPartialWindow(t *testing.T) {
+	c := New(Config{IntervalSeconds: 1})
+	c.Complete(0.2, sched.ClassBatch, 0.05)
+	exp := c.Snapshot(0.6)
+	if len(exp.Windows) != 1 {
+		t.Fatalf("expected 1 partial row, got %d windows", len(exp.Windows))
+	}
+	p := exp.Windows[0]
+	if !p.Partial || p.EndSeconds != 0.6 || p.Completions != 1 {
+		t.Fatalf("partial row wrong: %+v", p)
+	}
+	// Snapshot must not have closed anything: the same window closes
+	// later with the same data plus what arrived after the snapshot.
+	c.Complete(0.8, sched.ClassBatch, 0.05)
+	c.Advance(1)
+	rows := c.Windows()
+	if len(rows) != 1 || rows[0].Completions != 2 || rows[0].Partial {
+		t.Fatalf("closed window wrong after snapshot: %+v", rows)
+	}
+}
+
+// TestRollingAttainmentAndBurnRate drives alternating good/bad windows
+// and checks the completion-weighted rolling SLO math.
+func TestRollingAttainmentAndBurnRate(t *testing.T) {
+	c := New(Config{
+		IntervalSeconds:  1,
+		SLOTargetSeconds: [sched.NumClasses]float64{1, 1},
+		SLOObjective:     0.9,
+		RollingWindows:   4,
+	})
+	// Window 0: 3 good. Window 1: 1 good, 2 bad.
+	for i := 0; i < 3; i++ {
+		c.Complete(0.1, sched.ClassInteractive, 0.5)
+	}
+	c.Advance(1)
+	c.Complete(1.1, sched.ClassInteractive, 0.5)
+	c.Complete(1.2, sched.ClassInteractive, 5)
+	c.Complete(1.3, sched.ClassInteractive, 5)
+	c.Advance(2)
+	rows := c.Windows()
+	w1 := rows[1].Classes[sched.ClassInteractive]
+	if got, want := w1.Attainment, 1.0/3; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("window attainment %g, want %g", got, want)
+	}
+	// Rolling: (3+1 good) / (3+3 total) = 2/3; burn = (1-2/3)/(1-0.9).
+	if got, want := w1.RollingAttainment, 4.0/6; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("rolling attainment %g, want %g", got, want)
+	}
+	if got, want := w1.BurnRate, (1-4.0/6)/0.1; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("burn rate %g, want %g", got, want)
+	}
+}
+
+// TestMaxWindowsEviction checks the ring cap: old rows drop, the dropped
+// count and ClosedWindows stay monotonic and exact.
+func TestMaxWindowsEviction(t *testing.T) {
+	c := New(Config{IntervalSeconds: 1, MaxWindows: 4})
+	for i := 0; i < 10; i++ {
+		c.Complete(float64(i)+0.5, sched.ClassInteractive, 0.1)
+	}
+	c.Advance(10)
+	rows := c.Windows()
+	if len(rows) != 4 {
+		t.Fatalf("cap 4 but %d rows kept", len(rows))
+	}
+	if rows[0].Index != 6 || rows[3].Index != 9 {
+		t.Fatalf("kept rows %d..%d, want 6..9", rows[0].Index, rows[3].Index)
+	}
+	if got := c.ClosedWindows(); got != 10 {
+		t.Fatalf("ClosedWindows %d, want 10", got)
+	}
+	if exp := c.Snapshot(10); exp.DroppedWindows != 6 {
+		t.Fatalf("DroppedWindows %d, want 6", exp.DroppedWindows)
+	}
+}
+
+// TestHugeIdleGapBoundedCatchUp pins the free-running-server fast path:
+// a jump of millions of windows must not materialize (or shift) millions
+// of rows. The trailing MaxWindows windows survive as rows, everything
+// older counts as dropped, and the rolling ring reads as all-idle.
+func TestHugeIdleGapBoundedCatchUp(t *testing.T) {
+	c := New(Config{IntervalSeconds: 1, MaxWindows: 8})
+	c.Complete(0.5, sched.ClassInteractive, 0.1)
+	const jump = 5_000_000.5
+	c.Complete(jump, sched.ClassInteractive, 0.1)
+	c.Advance(jump + 0.6)
+	rows := c.Windows()
+	if len(rows) != 8 {
+		t.Fatalf("kept %d rows after the jump, want MaxWindows = 8", len(rows))
+	}
+	last := rows[len(rows)-1]
+	if last.Index != 5_000_000 || last.Completions != 1 {
+		t.Fatalf("last row %+v, want the jump target window with its completion", last)
+	}
+	for i, w := range rows[:len(rows)-1] {
+		if w.Completions != 0 {
+			t.Fatalf("gap row %d has completions: %+v", i, w)
+		}
+	}
+	if got := c.ClosedWindows(); got != 5_000_001 {
+		t.Fatalf("ClosedWindows %d, want one per elapsed window", got)
+	}
+	// The ring saw nothing but empty windows before the jump target:
+	// rolling attainment must read 1 with the pre-gap history flushed.
+	if ra := last.Classes[sched.ClassInteractive].RollingAttainment; ra != 1 {
+		t.Fatalf("rolling attainment %g after an idle flush, want 1", ra)
+	}
+}
+
+// TestNilCollectorZeroAlloc pins the disabled path: every hot-path method
+// on a nil collector must be a no-op with zero allocations, because
+// simulation.go calls them unconditionally.
+func TestNilCollectorZeroAlloc(t *testing.T) {
+	var c *Collector
+	if c.Enabled() {
+		t.Fatal("nil collector reports enabled")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Arrival(1, sched.ClassInteractive)
+		c.Complete(1, sched.ClassInteractive, 0.1)
+		c.Reject(1, sched.ClassBatch, "backlog")
+		c.Advance(1)
+		c.Start()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil collector allocates %g per run, want 0", allocs)
+	}
+}

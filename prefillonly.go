@@ -26,6 +26,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/sched"
+	"repro/internal/timeseries"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -80,6 +81,20 @@ type TraceRecorder = trace.Recorder
 
 // TraceSpan is one flight-recorder record.
 type TraceSpan = trace.Span
+
+// TimeseriesCollector is the windowed sim-time aggregation engine
+// (SimulationConfig.TimeseriesSeconds, ServerConfig.TimeseriesSeconds):
+// per-window throughput, arrival and shed rates, streaming latency
+// quantiles, fleet gauges and per-class SLO attainment/burn rate.
+type TimeseriesCollector = timeseries.Collector
+
+// TimeseriesExport is the serialized series: configuration header plus
+// one row per closed window (and a partial row for the open one in
+// snapshots).
+type TimeseriesExport = timeseries.Export
+
+// TimeseriesWindow is one aggregation interval's row.
+type TimeseriesWindow = timeseries.Window
 
 // Model presets (Table 3 of the paper).
 var (

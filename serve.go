@@ -63,6 +63,14 @@ type ServerConfig struct {
 	// The recorder feeds the /v1/trace endpoint (Perfetto-loadable
 	// Chrome trace JSON) and the trace families of /v1/metrics.
 	TraceSpans int
+	// TimeseriesSeconds enables the windowed sim-time-series collector
+	// when positive: throughput, latency quantiles, shed rate, pool and
+	// cache gauges, and per-class SLO burn rate aggregated per window of
+	// this many simulated seconds, served at /v1/timeseries. Size it
+	// relative to Speedup — the server clock free-runs at Speedup sim
+	// seconds per wall second, so TimeseriesSeconds = Speedup gives one
+	// window per wall second (prefillserve's default).
+	TimeseriesSeconds float64
 }
 
 // Server is the OpenAI-compatible serving frontend over a PrefillOnly
@@ -135,16 +143,23 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.TimeseriesSeconds > 0 {
+		b.EnableTimeseries(cfg.TimeseriesSeconds)
+	}
 	return &Server{backend: b, handler: server.NewHandler(b, cfg.ModelName)}, nil
 }
 
 // Handler returns the http.Handler exposing /v1/completions, /v1/models,
-// /v1/stats, /v1/metrics, /v1/trace and /healthz.
+// /v1/stats, /v1/metrics, /v1/trace, /v1/timeseries and /healthz.
 func (s *Server) Handler() http.Handler { return s.handler }
 
 // Trace returns the server's flight recorder (nil unless TraceSpans was
 // set).
 func (s *Server) Trace() *TraceRecorder { return s.backend.Trace() }
+
+// Timeseries returns a snapshot of the windowed time-series at the
+// current sim time; ok is false unless TimeseriesSeconds was set.
+func (s *Server) Timeseries() (TimeseriesExport, bool) { return s.backend.Timeseries() }
 
 // Stats returns the live cluster snapshot served at /v1/stats: router
 // per-instance loads, the admission tally, and the autoscaler's pool

@@ -11,6 +11,7 @@ import (
 	"repro/internal/router"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/timeseries"
 	"repro/internal/tokenizer"
 	"repro/internal/trace"
 )
@@ -91,6 +92,14 @@ type SimulationConfig struct {
 	// TraceSampleSeconds is the fleet-gauge sampling interval in sim
 	// seconds when tracing is enabled (default 0.5).
 	TraceSampleSeconds float64
+	// TimeseriesSeconds enables the windowed time-series collector
+	// (internal/timeseries) with that window width in sim seconds:
+	// per-window throughput, arrival and shed rates, per-class latency
+	// quantiles, fleet gauges and rolling SLO burn rate. Read it back
+	// with Timeseries(); export with its WriteJSON/WriteCSV. Disabled
+	// (0) costs nothing on the hot path; enabled it never perturbs the
+	// simulation — records are bit-identical either way.
+	TimeseriesSeconds float64
 	// Shards selects the event kernel: <= 1 runs the serial kernel, >= 2
 	// runs the sharded kernel with that many shard workers — engine
 	// instances round-robin onto shard clocks and execute their pass and
@@ -112,6 +121,7 @@ type Simulation struct {
 	ctl             *autoscale.Controller // elastic pool (Autoscale config)
 	rec             *trace.Recorder       // flight recorder (TraceSpans config)
 	sampler         *trace.Sampler        // fleet-gauge ticks on the sim clock
+	ts              *timeseries.Collector // windowed series (TimeseriesSeconds config)
 	tok             *tokenizer.Tokenizer
 	records         []Record
 	rejected        int
@@ -174,12 +184,23 @@ func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
 		}
 		s.sampler = trace.NewSampler(s.clock, interval, s.sampleGauges)
 	}
+	if cfg.TimeseriesSeconds > 0 {
+		s.ts = timeseries.New(timeseries.Config{
+			IntervalSeconds: cfg.TimeseriesSeconds,
+			Sample:          s.timeseriesGauges,
+		})
+		s.ts.Attach(s.clock)
+	}
 
 	sinkFor := kern.CompletionSinks(func(r Record) {
 		if s.router != nil {
 			s.router.Completed(r)
 		}
 		s.records = append(s.records, r)
+		// Completions carry their own event time: on the sharded kernel
+		// this sink runs at window barriers, after the coordinator clock
+		// has passed the finish time.
+		s.ts.Complete(r.Finish, r.Req.Class, r.Latency())
 	})
 	ecfg := engine.Config{
 		Model:          cfg.Model,
@@ -297,6 +318,8 @@ func (s *Simulation) submit(r *Request) {
 		// drained the event queue (same discipline as the autoscaler).
 		s.sampler.Start()
 	}
+	s.ts.Arrival(s.clock.Now(), r.Class)
+	s.ts.Start()
 	if s.router != nil {
 		if s.ctl != nil {
 			// Revive the controller's tick loop if it wound down after a
@@ -312,6 +335,7 @@ func (s *Simulation) submit(r *Request) {
 			if int(rej.Class) < len(s.rejectedByClass) {
 				s.rejectedByClass[rej.Class]++
 			}
+			s.ts.Reject(s.clock.Now(), rej.Class, rej.Reason)
 		}
 		return
 	}
@@ -395,6 +419,38 @@ func (s *Simulation) sampleGauges(now float64) {
 	}
 	s.rec.SampleCaches(now)
 }
+
+// timeseriesGauges samples fleet state for the time-series collector at
+// window close: fleet-wide queue depth and backlog (routed mode), pool
+// size and pending cold starts, cumulative cache hit ratio, and
+// GPU-seconds (the controller's accrued integral, or fleet size × time
+// for a fixed fleet).
+func (s *Simulation) timeseriesGauges(now float64) timeseries.Gauges {
+	var g timeseries.Gauges
+	if s.router != nil {
+		for _, info := range s.router.InstanceInfos() {
+			g.QueuedRequests += info.Load.QueuedRequests
+			g.BacklogSeconds += info.Load.BacklogSeconds
+		}
+		g.PoolSize = s.router.Routable()
+		if s.ctl != nil {
+			g.PendingInstances = s.ctl.Size() - s.router.Routable()
+		}
+	} else {
+		g.PoolSize = len(s.instances)
+	}
+	if s.ctl != nil {
+		g.GPUSeconds = s.ctl.GPUSeconds(now)
+	} else {
+		g.GPUSeconds = now * float64(s.cfg.GPUs)
+	}
+	g.CacheHitRatio = s.CacheHitRate()
+	return g
+}
+
+// Timeseries returns the windowed collector (nil unless
+// TimeseriesSeconds was set).
+func (s *Simulation) Timeseries() *timeseries.Collector { return s.ts }
 
 // Trace returns the flight recorder (nil unless TraceSpans was set). Its
 // WriteTrace exports the run as Chrome trace-event JSON for Perfetto.
