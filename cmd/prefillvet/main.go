@@ -1,0 +1,140 @@
+// Command prefillvet runs the repo's invariant analyzers (internal/lint)
+// over Go packages. It speaks the `go vet -vettool=` driver protocol,
+// and when invoked with package patterns instead of a .cfg file it
+// re-execs `go vet` on itself, so both forms work:
+//
+//	go build -o prefillvet ./cmd/prefillvet
+//	go vet -vettool=./prefillvet ./...
+//	./prefillvet ./...
+//
+// Individual analyzers can be disabled with boolean flags, e.g.
+// `./prefillvet -nilguard=false ./...`. Findings are suppressed per
+// site with a `//prefill:allow(<analyzer>): <reason>` comment; see the
+// README's "Enforced invariants" section.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	fs := flag.NewFlagSet("prefillvet", flag.ExitOnError)
+	fs.Usage = usage(fs)
+	versionFlag := fs.String("V", "", "print version and exit (-V=full is used by the go command)")
+	flagsFlag := fs.Bool("flags", false, "print the analyzer flags in JSON (used by the go command)")
+	enabled := make(map[string]*bool, len(lint.Analyzers))
+	for _, a := range lint.Analyzers {
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer")
+	}
+	fs.Parse(os.Args[1:])
+
+	switch {
+	case *versionFlag != "":
+		printVersion()
+		return
+	case *flagsFlag:
+		printFlags()
+		return
+	}
+
+	var analyzers []*lint.Analyzer
+	for _, a := range lint.Analyzers {
+		if *enabled[a.Name] {
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	args := fs.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(lint.RunVet(args[0], analyzers, os.Stderr))
+	}
+	if len(args) > 0 && args[0] == "help" {
+		help()
+		return
+	}
+	// Standalone mode: let the go command drive the builds and call us
+	// back per package with a .cfg file.
+	execGoVet(os.Args[1:])
+}
+
+// printVersion implements -V=full: the go command hashes this line into
+// its build cache key, so it must change whenever the tool does.
+func printVersion() {
+	progname := filepath.Base(os.Args[0])
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%x\n", progname, h.Sum(nil)[:12])
+}
+
+// printFlags implements -flags: the go command asks for the tool's flag
+// set so it can accept the same flags on the `go vet` command line.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := []jsonFlag{}
+	for _, a := range lint.Analyzers {
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: "enable the " + a.Name + " analyzer"})
+	}
+	out, err := json.Marshal(flags)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prefillvet:", err)
+		os.Exit(2)
+	}
+	os.Stdout.Write(out)
+	fmt.Println()
+}
+
+func execGoVet(args []string) {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prefillvet:", err)
+		os.Exit(2)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, args...)...)
+	cmd.Stdin = os.Stdin
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintln(os.Stderr, "prefillvet:", err)
+		os.Exit(2)
+	}
+}
+
+func usage(fs *flag.FlagSet) func() {
+	return func() {
+		fmt.Fprintln(os.Stderr, "usage: prefillvet [flags] ./... | prefillvet help")
+		fs.PrintDefaults()
+	}
+}
+
+func help() {
+	fmt.Println("prefillvet enforces the repo's determinism, zero-alloc and queue-discipline invariants.")
+	fmt.Println()
+	for _, a := range lint.Analyzers {
+		fmt.Printf("%s\n    %s\n", a.Name, a.Doc)
+	}
+	fmt.Println()
+	fmt.Println(`Suppress a finding with "//prefill:allow(<analyzer>): <reason>" on the`)
+	fmt.Println("finding's line or the line above it.")
+}

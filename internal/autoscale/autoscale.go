@@ -37,6 +37,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/hw"
 	"repro/internal/model"
+	"repro/internal/ringbuf"
 	"repro/internal/router"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -181,7 +182,7 @@ type Controller struct {
 	stopped     bool
 	err         error
 
-	window          []windowSample
+	window          ringbuf.Ring[windowSample]
 	lastAccepted    int64
 	lastRejected    int64
 	lastRejectedAll int64
@@ -287,7 +288,9 @@ func (c *Controller) accrue(now float64) {
 func (c *Controller) windowRates() (upRejects int64, upRate float64, allRejects int64) {
 	var acc, rej, accAll, rejAll int64
 	batchLabel := sched.ClassBatch.String()
+	//prefill:allow(simdeterminism): commutative sum over per-instance tallies; order cannot change the totals
 	for _, byClass := range c.rt.Admission().ClassSnapshot() {
+		//prefill:allow(simdeterminism): commutative sum over per-class tallies; order cannot change the totals
 		for class, tally := range byClass {
 			accAll += tally.Accepted
 			rejAll += tally.Rejected
@@ -298,16 +301,17 @@ func (c *Controller) windowRates() (upRejects int64, upRate float64, allRejects 
 			rej += tally.Rejected
 		}
 	}
-	c.window = append(c.window, windowSample{
+	c.window.PushBack(windowSample{
 		accepted: acc - c.lastAccepted, rejected: rej - c.lastRejected,
 		rejectedAll: rejAll - c.lastRejectedAll,
 	})
 	c.lastAccepted, c.lastRejected, c.lastRejectedAll = acc, rej, rejAll
-	if len(c.window) > c.cfg.WindowTicks {
-		c.window = c.window[len(c.window)-c.cfg.WindowTicks:]
+	if c.window.Len() > c.cfg.WindowTicks {
+		c.window.PopFront()
 	}
 	var wAcc, wRej, wRejAll int64
-	for _, s := range c.window {
+	for i := 0; i < c.window.Len(); i++ {
+		s := c.window.At(i)
 		wAcc += s.accepted
 		wRej += s.rejected
 		wRejAll += s.rejectedAll

@@ -459,6 +459,7 @@ func (m *Manager) Len() int { return len(m.blocks) }
 func (m *Manager) CheckInvariants() error {
 	var used int64
 	children := make(map[uint64]int)
+	//prefill:allow(simdeterminism): test-only invariant sweep; accumulates commutative sums, never touches sim state
 	for _, b := range m.blocks {
 		used += m.bytesPerBlock
 		if b.parent != 0 {
@@ -474,6 +475,7 @@ func (m *Manager) CheckInvariants() error {
 	if m.used > m.capacity {
 		return fmt.Errorf("kvcache: used %d exceeds capacity %d", m.used, m.capacity)
 	}
+	//prefill:allow(simdeterminism): test-only invariant sweep; reports error presence, never touches sim state
 	for _, b := range m.blocks {
 		if b.children != children[b.hash] {
 			return fmt.Errorf("kvcache: block %x children=%d, actual %d", b.hash, b.children, children[b.hash])

@@ -1,0 +1,12 @@
+package lint
+
+// Analyzers is the prefillvet suite in reporting order. cmd/prefillvet
+// exposes one boolean flag per entry so individual analyzers can be
+// disabled (e.g. `go vet -vettool=prefillvet -nilguard=false ./...`).
+var Analyzers = []*Analyzer{
+	SliceRetain,
+	SimDeterminism,
+	NilGuard,
+	HotPathAlloc,
+	ExportOrder,
+}

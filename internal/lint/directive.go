@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The repo's lint directives are Go directive comments (no space after
+// the slashes):
+//
+//	//prefill:allow(<analyzer>): <reason>
+//	    suppresses <analyzer>'s findings on the directive's own line and
+//	    on the line directly below it. The reason is mandatory: an
+//	    annotation that cannot say why it is safe is not an annotation.
+//
+//	//prefill:niltolerant
+//	    marks a type declaration as a nil-tolerant observability hook;
+//	    the nilguard analyzer then requires every exported pointer
+//	    method to begin with a nil-receiver guard.
+const (
+	allowPrefix       = "prefill:allow("
+	nilTolerantMarker = "prefill:niltolerant"
+)
+
+// allowIndex maps analyzer name -> set of source lines a directive
+// covers.
+type allowIndex map[string]map[int]bool
+
+func (ai allowIndex) covers(analyzer string, line int) bool {
+	lines := ai[analyzer]
+	return lines[line] || lines[line-1]
+}
+
+// parseAllow extracts the analyzer name from one comment's text, or ""
+// if the comment is not a well-formed allow directive. Malformed
+// directives (missing closing paren, missing ": reason") never suppress.
+func parseAllow(text string) string {
+	body, ok := strings.CutPrefix(text, "//"+allowPrefix)
+	if !ok {
+		return ""
+	}
+	name, rest, ok := strings.Cut(body, ")")
+	if !ok || name == "" {
+		return ""
+	}
+	reason, ok := strings.CutPrefix(rest, ":")
+	if !ok || strings.TrimSpace(reason) == "" {
+		return ""
+	}
+	return name
+}
+
+func collectAllows(fset *token.FileSet, files []*ast.File) allowIndex {
+	idx := make(allowIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name := parseAllow(c.Text)
+				if name == "" {
+					continue
+				}
+				if idx[name] == nil {
+					idx[name] = make(map[int]bool)
+				}
+				idx[name][fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return idx
+}
+
+// hasNilTolerantMarker reports whether any of the given comment groups
+// carries the //prefill:niltolerant marker.
+func hasNilTolerantMarker(groups ...*ast.CommentGroup) bool {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, "//"+nilTolerantMarker)
+			if ok && (rest == "" || rest[0] == ' ' || rest[0] == '\t') {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,22 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestExportOrderFixture(t *testing.T) {
+	diags := linttest.Run(t, "testdata", lint.ExportOrder, "exportorder/internal/experiments")
+	if len(diags) == 0 {
+		t.Fatal("exportorder produced no diagnostics on its true-positive fixture")
+	}
+}
+
+func TestExportOrderOutOfScope(t *testing.T) {
+	diags := linttest.Run(t, "testdata", lint.ExportOrder, "exportorder/internal/server")
+	if len(diags) != 0 {
+		t.Fatalf("exportorder flagged the HTTP side: %v", diags)
+	}
+}

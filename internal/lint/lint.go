@@ -1,0 +1,163 @@
+// Package lint is prefillvet's analysis framework: a small, stdlib-only
+// equivalent of golang.org/x/tools/go/analysis (unavailable offline) that
+// statically enforces the repo's core contracts — determinism of the sim
+// kernel packages, the zero-alloc hot-path discipline, the ringbuf queue
+// discipline, and nil-tolerant observability hooks.
+//
+// Each Analyzer inspects one type-checked package and reports
+// Diagnostics. Findings at a given line are suppressed by a
+//
+//	//prefill:allow(<analyzer>): <reason>
+//
+// directive comment on the same line or the line directly above (see
+// directive.go). The suite runs three ways: `go vet -vettool=` via the
+// unitchecker protocol (unitchecker.go), the standalone cmd/prefillvet
+// driver (which re-execs go vet), and in-process fixture tests under
+// internal/lint/linttest.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer checks one package for violations of a single invariant.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //prefill:allow(<name>) directives. It must be a valid flag name.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant,
+	// shown by `prefillvet help` and advertised through -flags.
+	Doc string
+	// Run inspects the package and reports findings via pass.Reportf.
+	Run func(*Pass)
+}
+
+// A Diagnostic is one finding, resolved to a concrete file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's non-test files. Test files are outside
+	// every invariant the suite enforces (they may use wall clocks, maps
+	// and closures freely), so the framework filters them before any
+	// analyzer runs.
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// PkgPath returns the package path under analysis with any build-variant
+// suffix (e.g. "repro/internal/sim [repro/internal/sim.test]") removed,
+// so scope decisions see the canonical import path.
+func (p *Pass) PkgPath() string { return canonicalPath(p.Pkg.Path()) }
+
+func canonicalPath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// RunPackage runs every analyzer over one type-checked package and
+// returns the surviving findings sorted by position: allow-directive
+// suppression has been applied and test files were never analyzed.
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Diagnostic {
+	var nonTest []*ast.File
+	for _, f := range files {
+		name := fset.Position(f.Package).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		nonTest = append(nonTest, f)
+	}
+	allows := collectAllows(fset, nonTest)
+
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     nonTest,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		a.Run(pass)
+		for _, d := range pass.diags {
+			if allows.covers(a.Name, d.Pos.Line) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// NewInfo returns a types.Info populated with every map the analyzers
+// read (expression types, identifier uses, and method selections).
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// calleeFunc resolves a call expression to the function or method object
+// it invokes, or nil when the callee is not a named function (builtins,
+// conversions, calls of function-typed variables).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}

@@ -1,0 +1,208 @@
+// Package linttest is the suite's analysistest equivalent: it loads a
+// fixture package from a testdata/src tree, type-checks it (standard-
+// library imports resolve from GOROOT source, sibling fixture packages
+// resolve recursively from the same tree), runs one analyzer, and
+// diffs the findings against `// want "regexp"` comments in the
+// fixture.
+//
+// Fixture layout mirrors a GOPATH: testdata/src/<import/path>/*.go.
+// Import paths are chosen so the scope helpers in internal/lint see the
+// same shapes as the real module — e.g. a fixture package
+// "simdeterminism/internal/sim" is inside the deterministic set, while
+// "simdeterminism/internal/server" is not.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// Run loads testdata/src/<pkgpath>, runs the analyzer, and reports any
+// mismatch between produced diagnostics and the fixture's want
+// comments. It returns the diagnostics for additional assertions.
+func Run(t *testing.T, testdata string, a *lint.Analyzer, pkgpath string) []lint.Diagnostic {
+	t.Helper()
+	ld := newLoader(filepath.Join(testdata, "src"))
+	pkg, files, err := ld.load(pkgpath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgpath, err)
+	}
+	diags := lint.RunPackage(ld.fset, files, pkg, ld.info, []*lint.Analyzer{a})
+
+	wants := collectWants(t, ld.fset, files)
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+	return diags
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range splitQuoted(m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	return wants
+}
+
+// splitQuoted extracts the backquote- or doublequote-delimited patterns
+// from the tail of a want comment: `a` "b" -> ["a", "b"].
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		delim := s[0]
+		if delim != '"' && delim != '`' {
+			return out
+		}
+		end := strings.IndexByte(s[1:], delim)
+		if end < 0 {
+			return out
+		}
+		out = append(out, s[1:1+end])
+		s = s[2+end:]
+	}
+}
+
+// loader resolves fixture-tree packages recursively and everything else
+// (the standard library) from GOROOT source.
+type loader struct {
+	root  string
+	fset  *token.FileSet
+	std   types.Importer
+	info  *types.Info
+	pkgs  map[string]*types.Package
+	files map[string][]*ast.File
+}
+
+func newLoader(root string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		root:  root,
+		fset:  fset,
+		std:   importer.ForCompiler(fset, "source", nil),
+		info:  lint.NewInfo(),
+		pkgs:  make(map[string]*types.Package),
+		files: make(map[string][]*ast.File),
+	}
+}
+
+func (l *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if dir := filepath.Join(l.root, filepath.FromSlash(path)); isDir(dir) {
+		pkg, _, err := l.load(path)
+		return pkg, err
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) (*types.Package, []*ast.File, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, l.files[path], nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+	}
+	cfg := &types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+	}
+	pkg, err := cfg.Check(path, l.fset, files, l.info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	l.pkgs[path] = pkg
+	l.files[path] = files
+	return pkg, files, nil
+}
+
+func isDir(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && st.IsDir()
+}

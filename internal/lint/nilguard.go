@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// NilGuard enforces the nil-tolerant hook contract: observability types
+// marked //prefill:niltolerant (trace.Recorder, trace.Instance,
+// timeseries.Collector, ...) promise that a nil receiver turns every
+// exported method into a branch-and-return, so wiring code passes nil
+// to disable the subsystem and the disabled hot path stays 0-alloc and
+// panic-free.
+//
+// Concretely, every exported method on a marked type must either
+//   - take a pointer receiver and begin with an `if recv == nil` guard
+//     (the condition may widen it: `recv == nil || k >= numKinds`),
+//   - be a single-statement wrapper that immediately delegates to
+//     another method of the same receiver (`return r.emit(...)`), whose
+//     own guard this analyzer checks, or
+//   - consist of a lone `return recv == nil` / `return recv != nil`
+//     (the result IS the nil check, e.g. Collector.Enabled).
+//
+// Value receivers are flagged outright: calling one through a nil
+// pointer dereferences it before the body can guard anything.
+var NilGuard = &Analyzer{
+	Name: "nilguard",
+	Doc: "exported methods on //prefill:niltolerant types must begin " +
+		"with a nil-receiver guard (or delegate to a guarded method)",
+	Run: runNilGuard,
+}
+
+func runNilGuard(pass *Pass) {
+	marked := make(map[string]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if hasNilTolerantMarker(gd.Doc, ts.Doc, ts.Comment) {
+					marked[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	if len(marked) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 || !fd.Name.IsExported() {
+				continue
+			}
+			recv := fd.Recv.List[0]
+			typeName, isPointer := receiverType(recv.Type)
+			if !marked[typeName] {
+				continue
+			}
+			if !isPointer {
+				pass.Reportf(fd.Pos(),
+					"exported method %s.%s on nil-tolerant type has a value receiver: calling it on a nil *%s panics before any guard can run; use a pointer receiver",
+					typeName, fd.Name.Name, typeName)
+				continue
+			}
+			if len(recv.Names) == 0 || recv.Names[0].Name == "_" {
+				pass.Reportf(fd.Pos(),
+					"exported method %s.%s on nil-tolerant type discards its receiver name, so it cannot guard against nil; name the receiver and guard it",
+					typeName, fd.Name.Name)
+				continue
+			}
+			recvName := recv.Names[0].Name
+			if fd.Body == nil || len(fd.Body.List) == 0 {
+				continue
+			}
+			first := fd.Body.List[0]
+			if beginsWithNilGuard(first, recvName) || delegatesToReceiver(first, recvName) || returnsNilComparison(first, recvName) {
+				continue
+			}
+			pass.Reportf(fd.Pos(),
+				"exported method %s.%s on nil-tolerant type must begin with `if %s == nil` (the disabled path must be 0-alloc and panic-free)",
+				typeName, fd.Name.Name, recvName)
+		}
+	}
+}
+
+// receiverType unwraps a method receiver's type expression to the named
+// type's identifier, reporting whether the receiver is a pointer.
+func receiverType(e ast.Expr) (name string, pointer bool) {
+	if star, ok := e.(*ast.StarExpr); ok {
+		e = star.X
+		pointer = true
+	}
+	// Generic receivers look like T[P]; none are marked today, but
+	// unwrap anyway so the analyzer doesn't misclassify them.
+	if idx, ok := e.(*ast.IndexExpr); ok {
+		e = idx.X
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name, pointer
+	}
+	return "", pointer
+}
+
+// beginsWithNilGuard reports whether stmt is `if <cond> { ... }` where
+// cond contains recv == nil as a top-level || disjunct.
+func beginsWithNilGuard(stmt ast.Stmt, recv string) bool {
+	ifStmt, ok := stmt.(*ast.IfStmt)
+	if !ok || ifStmt.Init != nil {
+		return false
+	}
+	return condHasNilCheck(ifStmt.Cond, recv)
+}
+
+func condHasNilCheck(cond ast.Expr, recv string) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LOR:
+			return condHasNilCheck(e.X, recv) || condHasNilCheck(e.Y, recv)
+		case token.EQL:
+			return isIdentNamed(e.X, recv) && isNilIdent(e.Y) ||
+				isIdentNamed(e.Y, recv) && isNilIdent(e.X)
+		}
+	}
+	return false
+}
+
+// delegatesToReceiver reports whether stmt is a lone
+// `recv.Method(...)` call (optionally returned), i.e. a thin wrapper
+// whose nil-safety is exactly its delegate's — which this analyzer
+// checks separately.
+func delegatesToReceiver(stmt ast.Stmt, recv string) bool {
+	var e ast.Expr
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		e = s.X
+	case *ast.ReturnStmt:
+		if len(s.Results) != 1 {
+			return false
+		}
+		e = s.Results[0]
+	default:
+		return false
+	}
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return isIdentNamed(sel.X, recv)
+}
+
+// returnsNilComparison reports whether stmt is `return recv == nil` or
+// `return recv != nil`: the method's whole job is the nil check, so no
+// guard is needed.
+func returnsNilComparison(stmt ast.Stmt, recv string) bool {
+	ret, ok := stmt.(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return false
+	}
+	cmp, ok := ast.Unparen(ret.Results[0]).(*ast.BinaryExpr)
+	if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+		return false
+	}
+	return isIdentNamed(cmp.X, recv) && isNilIdent(cmp.Y) ||
+		isIdentNamed(cmp.Y, recv) && isNilIdent(cmp.X)
+}
+
+func isIdentNamed(e ast.Expr, name string) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func isNilIdent(e ast.Expr) bool { return isIdentNamed(e, "nil") }

@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestNilGuardFixture(t *testing.T) {
+	diags := linttest.Run(t, "testdata", lint.NilGuard, "nilguard/a")
+	if len(diags) == 0 {
+		t.Fatal("nilguard produced no diagnostics on its true-positive fixture")
+	}
+}

@@ -1,0 +1,22 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestSimDeterminismFixture(t *testing.T) {
+	diags := linttest.Run(t, "testdata", lint.SimDeterminism, "simdeterminism/internal/sim")
+	if len(diags) == 0 {
+		t.Fatal("simdeterminism produced no diagnostics on its true-positive fixture")
+	}
+}
+
+func TestSimDeterminismOutOfScope(t *testing.T) {
+	diags := linttest.Run(t, "testdata", lint.SimDeterminism, "simdeterminism/internal/server")
+	if len(diags) != 0 {
+		t.Fatalf("simdeterminism flagged the wall-clock side: %v", diags)
+	}
+}

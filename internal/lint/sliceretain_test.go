@@ -1,0 +1,22 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestSliceRetainFixture(t *testing.T) {
+	diags := linttest.Run(t, "testdata", lint.SliceRetain, "sliceretain/a")
+	if len(diags) == 0 {
+		t.Fatal("sliceretain produced no diagnostics on its true-positive fixture")
+	}
+}
+
+func TestSliceRetainRingbufExempt(t *testing.T) {
+	diags := linttest.Run(t, "testdata", lint.SliceRetain, "sliceretain/internal/ringbuf")
+	if len(diags) != 0 {
+		t.Fatalf("sliceretain flagged the sanctioned ringbuf package: %v", diags)
+	}
+}

@@ -1,0 +1,41 @@
+// Package experiments exercises exportorder inside an export/bench
+// path: handing a raw map to encoding/json is flagged; structs, sorted
+// row slices and annotated sites are not.
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+type row struct {
+	Name  string
+	Count int
+}
+
+func exportMap(counts map[string]int) ([]byte, error) {
+	return json.Marshal(counts) // want "raw map"
+}
+
+func exportIndented(counts map[string]int) ([]byte, error) {
+	return json.MarshalIndent(counts, "", "  ") // want "raw map"
+}
+
+func exportStream(w io.Writer, counts map[string]int) error {
+	return json.NewEncoder(w).Encode(counts) // want "raw map"
+}
+
+func exportRows(counts map[string]int) ([]byte, error) {
+	rows := make([]row, 0, len(counts))
+	for name, n := range counts {
+		rows = append(rows, row{Name: name, Count: n})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return json.Marshal(rows) // sorted rows: ok
+}
+
+func exportAllowed(counts map[string]int) ([]byte, error) {
+	//prefill:allow(exportorder): debug dump, never diffed byte-for-byte
+	return json.Marshal(counts)
+}

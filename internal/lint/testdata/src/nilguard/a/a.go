@@ -1,0 +1,70 @@
+// Package a exercises nilguard: exported methods on marked types must
+// begin with a nil-receiver guard or delegate to a guarded sibling.
+package a
+
+// Recorder is a nil-tolerant observability hook.
+//
+//prefill:niltolerant
+type Recorder struct {
+	n int
+}
+
+// Unmarked has no marker, so its methods are unconstrained.
+type Unmarked struct{}
+
+func (r *Recorder) Emit(v int) { // guarded: ok
+	if r == nil {
+		return
+	}
+	r.n += v
+}
+
+func (r *Recorder) EmitKind(v, kinds int) { // widened guard: ok
+	if r == nil || v >= kinds {
+		return
+	}
+	r.n += v
+}
+
+func (r *Recorder) Submit(v int) { // single-statement delegation: ok
+	r.Emit(v)
+}
+
+func (r *Recorder) Count() int { // delegating return: ok
+	return r.lockedCount()
+}
+
+func (r *Recorder) Enabled() bool { // the result IS the nil check: ok
+	return r != nil
+}
+
+func (r *Recorder) lockedCount() int { // unexported: unconstrained
+	return r.n
+}
+
+func (r *Recorder) Flush() { // want "must begin with `if r == nil`"
+	r.n = 0
+}
+
+func (r *Recorder) Drop(v int) { // want "must begin with `if r == nil`"
+	if v < 0 {
+		return
+	}
+	r.n -= v
+}
+
+func (r Recorder) Snapshot() int { // want "value receiver"
+	return r.n
+}
+
+func (_ *Recorder) Reset() { // want "discards its receiver name"
+}
+
+//prefill:allow(nilguard): invariant checked by caller, hook never reachable when nil
+func (r *Recorder) Unsafe() int {
+	return r.n
+}
+
+func (u *Unmarked) Anything() int { // unmarked type: unconstrained
+	return 1
+}

@@ -1,0 +1,55 @@
+// Package sim exercises simdeterminism inside the deterministic set:
+// wall clocks, the global math/rand source and map iteration are
+// flagged; seeded generators, annotated sites and slice iteration are
+// not.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() (time.Time, time.Duration) {
+	now := time.Now()        // want "reads the wall clock"
+	since := time.Since(now) // want "reads the wall clock"
+	_ = time.Until(now)      // want "reads the wall clock"
+	_ = time.Unix(0, 0)      // pure conversion: fine
+	_ = time.Duration(3) * time.Second
+	return now, since
+}
+
+func allowedWallClock() time.Duration {
+	//prefill:allow(simdeterminism): profiling only, never feeds back into event order
+	start := time.Now()
+	//prefill:allow(simdeterminism): profiling only, never feeds back into event order
+	return time.Since(start)
+}
+
+func globalRand() int {
+	n := rand.Intn(6)                  // want "process-global source"
+	rand.Shuffle(n, func(i, j int) {}) // want "process-global source"
+	return n
+}
+
+func seededRand(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // sanctioned: explicit seed
+	return rng.Float64()
+}
+
+func mapIteration(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "randomized hash order"
+		total += v
+	}
+	keys := make([]string, 0, len(m))
+	//prefill:allow(simdeterminism): key collection feeds the sort below, order-insensitive
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys { // slice iteration: deterministic
+		total += m[k]
+	}
+	return total
+}

@@ -1,0 +1,46 @@
+// Package a exercises the sliceretain analyzer: self-reslices that
+// advance a queue over its own backing array are flagged; truncations,
+// fresh-variable reslices, annotated sites and strings are not.
+package a
+
+type queues struct {
+	q []int
+}
+
+func popFront(q []int) []int {
+	q = q[1:] // want "advances the slice over its own backing array"
+	return q
+}
+
+func popN(q []int, n int) []int {
+	q = q[n:] // want "advances the slice over its own backing array"
+	return q
+}
+
+func (s *queues) popField() {
+	s.q = s.q[1:] // want "advances the slice over its own backing array"
+}
+
+func popBoth(q []int) []int {
+	q = q[1:len(q):len(q)] // want "advances the slice over its own backing array"
+	return q
+}
+
+func allowed(q []int) []int {
+	//prefill:allow(sliceretain): bounded test helper, backing array dies with the call
+	q = q[1:]
+	return q
+}
+
+func clean(q []int) ([]int, []int) {
+	head := q[1:]  // new variable: no self-retention
+	q = q[:0]      // truncation from the front keeps index 0
+	q = q[0:]      // zero low bound is a no-op
+	other := q[2:] // distinct lhs
+	return head, other
+}
+
+func cleanString(s string) string {
+	s = s[1:] // strings don't pin popped elements the way queue structs do
+	return s
+}

@@ -1,0 +1,9 @@
+// Package ringbuf stands in for the real internal/ringbuf: the one
+// package sanctioned to advance slices over their own backing arrays,
+// so nothing here is flagged.
+package ringbuf
+
+func drain(q []int) []int {
+	q = q[1:] // exempt: this package IS the sanctioned queue pattern
+	return q
+}

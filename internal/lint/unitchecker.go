@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+)
+
+// The go vet driver protocol (the same one x/tools' unitchecker speaks,
+// reimplemented here on the stdlib): `go vet -vettool=prefillvet` builds
+// every package and its dependencies, then invokes the tool once per
+// package with a JSON config file describing the compiled unit —
+// source files, the import map, and the compiler-produced export-data
+// files for every dependency. The tool type-checks the unit against
+// that export data, runs its analyzers, prints findings to stderr, and
+// exits 1 if it found anything.
+
+// VetConfig mirrors cmd/go's vetConfig (cmd/go/internal/work/exec.go).
+type VetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVet executes the suite over one vet config file and returns the
+// process exit code: 0 clean, 1 findings, 2 internal error. Diagnostics
+// go to stderr in the standard file:line:col form, errors to errw.
+func RunVet(cfgPath string, analyzers []*Analyzer, errw io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(errw, "prefillvet: reading config: %v\n", err)
+		return 2
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(errw, "prefillvet: parsing config %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	// cmd/go caches and feeds back this output as the unit's "vetx"
+	// facts file. The suite is fact-free, so an empty marker suffices,
+	// but the file must exist for the result to be cacheable.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("prefillvet: no facts\n"), 0o666); err != nil {
+			fmt.Fprintf(errw, "prefillvet: writing vetx output: %v\n", err)
+			return 2
+		}
+	}
+	// Dependencies (the whole stdlib included) are visited only so a
+	// fact-propagating tool could see them. Skip without even parsing.
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(errw, "prefillvet: %v\n", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	// Resolve imports through the compiler's export data, exactly as
+	// cmd/vet does: source import path -> canonical package path via
+	// ImportMap, canonical path -> export-data file via PackageFile.
+	compImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tcfg := &types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			path, ok := cfg.ImportMap[importPath]
+			if !ok {
+				return nil, fmt.Errorf("can't resolve import %q", importPath)
+			}
+			return compImporter.Import(path)
+		}),
+		Sizes:     types.SizesFor(cfg.Compiler, build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := NewInfo()
+	pkg, err := tcfg.Check(canonicalPath(cfg.ImportPath), fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(errw, "prefillvet: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+
+	diags := RunPackage(fset, files, pkg, info, analyzers)
+	for _, d := range diags {
+		fmt.Fprintf(errw, "%s\n", d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,98 @@
+package lint_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVetToolEndToEnd exercises the full go vet driver protocol: it
+// builds cmd/prefillvet, assembles a scratch module with one
+// deterministic-core package, and checks that `go vet -vettool=`
+// reports the violations, that //prefill:allow annotations suppress
+// them, and that a clean package passes.
+func TestVetToolEndToEnd(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not available")
+	}
+	repoRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := t.TempDir()
+	tool := filepath.Join(tmp, "prefillvet")
+
+	build := exec.Command("go", "build", "-o", tool, "./cmd/prefillvet")
+	build.Dir = repoRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building prefillvet: %v\n%s", err, out)
+	}
+
+	mod := filepath.Join(tmp, "scratch")
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(mod, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratch\n\ngo 1.22\n")
+	write("internal/sim/sim.go", `package sim
+
+import "time"
+
+func bad(q []int) ([]int, time.Time) {
+	q = q[1:]
+	return q, time.Now()
+}
+
+func allowed() time.Time {
+	//prefill:allow(simdeterminism): scratch-module profiling site for the vettool test
+	return time.Now()
+}
+`)
+
+	vet := func(args ...string) (string, error) {
+		cmd := exec.Command("go", append([]string{"vet", "-vettool=" + tool}, args...)...)
+		cmd.Dir = mod
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+
+	out, err := vet("./...")
+	if err == nil {
+		t.Fatalf("go vet succeeded on a package with violations; output:\n%s", out)
+	}
+	for _, wantFrag := range []string{
+		"sliceretain", "advances the slice over its own backing array",
+		"simdeterminism", "reads the wall clock",
+	} {
+		if !strings.Contains(out, wantFrag) {
+			t.Errorf("vet output missing %q; got:\n%s", wantFrag, out)
+		}
+	}
+	if n := strings.Count(out, "reads the wall clock"); n != 1 {
+		t.Errorf("want exactly 1 wall-clock finding (the other is annotated), got %d:\n%s", n, out)
+	}
+
+	// Disabling the two firing analyzers must make the same tree pass.
+	if out, err := vet("-sliceretain=false", "-simdeterminism=false", "./..."); err != nil {
+		t.Fatalf("go vet with analyzers disabled failed: %v\n%s", err, out)
+	}
+
+	// A fixed tree passes outright.
+	write("internal/sim/sim.go", `package sim
+
+func good(q []int) []int {
+	return append(q[:0], q...)
+}
+`)
+	if out, err := vet("./..."); err != nil {
+		t.Fatalf("go vet failed on a clean package: %v\n%s", err, out)
+	}
+}

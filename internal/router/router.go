@@ -25,6 +25,7 @@ package router
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/engine"
 	"repro/internal/graph"
@@ -219,8 +220,16 @@ func New(cfg Config, instances ...engine.Engine) (*Router, error) {
 	if cfg.MaxBacklogSeconds < 0 {
 		return nil, fmt.Errorf("router: MaxBacklogSeconds must be non-negative, got %g", cfg.MaxBacklogSeconds)
 	}
-	for class, bound := range cfg.ClassBacklogSeconds {
-		if bound < 0 {
+	// Validate per-class budgets in sorted class order so the reported
+	// error is deterministic when several classes are misconfigured.
+	classes := make([]sched.Class, 0, len(cfg.ClassBacklogSeconds))
+	//prefill:allow(simdeterminism): key collection feeds the sort below, order-insensitive
+	for class := range cfg.ClassBacklogSeconds {
+		classes = append(classes, class)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	for _, class := range classes {
+		if bound := cfg.ClassBacklogSeconds[class]; bound < 0 {
 			return nil, fmt.Errorf("router: %s backlog budget must be non-negative, got %g", class, bound)
 		}
 	}

@@ -125,6 +125,7 @@ func setClassWeights(dst *[NumClasses]float64, w map[Class]float64, waiting int)
 	if waiting > 0 {
 		panic("sched: SetClassWeights with requests already waiting")
 	}
+	//prefill:allow(simdeterminism): each class writes its own array slot; iteration order cannot change the result
 	for cl, wt := range w {
 		if wt <= 0 {
 			panic(fmt.Sprintf("sched: class weight for %s must be positive, got %g", cl, wt))
@@ -251,6 +252,7 @@ func (c *Calibrated) OnCacheChange(inserted, evicted []uint64) {
 	var affected map[*entry]struct{}
 	for _, hs := range [2][]uint64{inserted, evicted} {
 		for _, h := range hs {
+			//prefill:allow(simdeterminism): set union into `affected`; membership is order-insensitive
 			for e := range c.byHash[h] {
 				if affected == nil {
 					affected = make(map[*entry]struct{})
@@ -259,6 +261,10 @@ func (c *Calibrated) OnCacheChange(inserted, evicted []uint64) {
 			}
 		}
 	}
+	// Rekey order only permutes the heap's internal array; pop order is a
+	// strict total order on (key, len desc, seq), so dispatch stays
+	// byte-identical — pinned by the sweep-oracle property test.
+	//prefill:allow(simdeterminism): per-entry rekey+fix commutes; heap pop order is a strict total order
 	for e := range affected {
 		e.key = c.key(e.r)
 		c.h.fix(e)

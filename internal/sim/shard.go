@@ -245,6 +245,7 @@ func (p *ShardedSim) Run() float64 {
 			// first one itself, then waits at the barrier. Channel send /
 			// WaitGroup wait establish the happens-before edges in both
 			// directions, so shard state needs no atomics.
+			//prefill:allow(simdeterminism): barrier-stall profiling; wall time is observed, never fed back into event order
 			start := time.Now()
 			p.windowWG.Add(len(p.active) - 1)
 			for _, sh := range p.active[1:] {
@@ -256,6 +257,7 @@ func (p *ShardedSim) Run() float64 {
 			// the shard itself was busy — how long it sat idle waiting for
 			// the slowest shard. lastBusy is safe to read here: the
 			// barrier's WaitGroup established the happens-before edge.
+			//prefill:allow(simdeterminism): barrier-stall profiling; wall time is observed, never fed back into event order
 			wall := uint64(time.Since(start))
 			for _, sh := range p.active {
 				var stall uint64
@@ -429,8 +431,10 @@ func (sh *Shard) Post(t float64, fn Func, arg any) {
 // runTimedWindow is runWindow wrapped in the wall-clock busy measurement
 // the barrier-stall profile needs.
 func (sh *Shard) runTimedWindow(bound float64) {
+	//prefill:allow(simdeterminism): shard busy-time profiling; wall time is observed, never fed back into event order
 	start := time.Now()
 	sh.runWindow(bound)
+	//prefill:allow(simdeterminism): shard busy-time profiling; wall time is observed, never fed back into event order
 	sh.lastBusy = uint64(time.Since(start))
 	sh.busyNanos += sh.lastBusy
 }
