@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	prefillbench -exp table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|sec2.3|sec6.3|routing|autoscale|slo|kernel|all
+//	prefillbench -exp table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|sec2.3|sec6.3|routing|autoscale|slo|chaos|kernel|all
 //	             [-scenario L4|A100|H100|H100-NVLink] [-dataset post|credit]
 //	             [-seed N] [-small] [-parallel N] [-shards N] [-json FILE] [-trace FILE]
 //
@@ -25,7 +25,10 @@
 //
 // -compare-unsharded reruns the sweep on the serial kernel and fails
 // unless rows are byte-identical; the measured comparison lands in the
-// JSON as "shard_comparison" (routing, autoscale, slo, all).
+// JSON as "shard_comparison" (routing, autoscale, slo, chaos, all). For
+// chaos this is the strongest form of the oracle: fault injection,
+// orphan re-routing and recovery are coordinator events, and a faulted
+// run must stay byte-identical serial vs sharded.
 //
 // routing additionally honours -trace FILE: after the sweep it executes one
 // dedicated instrumented run with the flight recorder attached and writes
@@ -40,10 +43,10 @@
 // serial kernel and prefillbench fails unless the two series are
 // byte-identical.
 //
-// routing, autoscale, slo and kernel honour -json to additionally write
-// their results as JSON; the CI benchmark smoke step records
-// BENCH_routing.json, BENCH_autoscale.json, BENCH_slo.json and
-// BENCH_kernel.json this way. For -exp all, -json names a directory:
+// routing, autoscale, slo, chaos and kernel honour -json to additionally
+// write their results as JSON; the CI benchmark smoke step records
+// BENCH_routing.json, BENCH_autoscale.json, BENCH_slo.json,
+// BENCH_chaos.json and BENCH_kernel.json this way. For -exp all, -json names a directory:
 // every JSON-producing experiment writes its BENCH_*.json file into it.
 // Sweep JSON carries {"rows": ..., "executor":
 // ...}: the executor block records serial-equivalent vs. parallel wall
@@ -73,17 +76,17 @@ func main() {
 	small := flag.Bool("small", false, "use scaled-down datasets for quick runs")
 	parallel := flag.Int("parallel", experiments.DefaultParallel(),
 		"sweep cell parallelism (1 = serial executor; output rows are identical either way)")
-	jsonPath := flag.String("json", "", "also write the experiment's results as JSON (routing, autoscale, slo, kernel)")
+	jsonPath := flag.String("json", "", "also write the experiment's results as JSON (routing, autoscale, slo, chaos, kernel)")
 	tracePath := flag.String("trace", "",
 		"write a Perfetto-loadable Chrome trace of one instrumented routing run (routing only)")
 	timeseriesPath := flag.String("timeseries", "",
 		"write one instrumented routing run's windowed time-series as JSON, plus a .csv sibling (routing only)")
 	compare := flag.Bool("compare-serial", false,
-		"run the sweep twice (serial then -parallel) and record the measured wall-clock speedup; fails unless rows are byte-identical (routing, autoscale, slo)")
+		"run the sweep twice (serial then -parallel) and record the measured wall-clock speedup; fails unless rows are byte-identical (routing, autoscale, slo, chaos)")
 	shards := flag.Int("shards", 1,
-		"event-kernel shards per run (1 = serial kernel; routing, autoscale, slo, kernel — rows are identical at any count)")
+		"event-kernel shards per run (1 = serial kernel; routing, autoscale, slo, chaos, kernel — rows are identical at any count)")
 	compareUnsharded := flag.Bool("compare-unsharded", false,
-		"rerun the sweep on the serial kernel and fail unless rows are byte-identical to the -shards run (routing, autoscale, slo)")
+		"rerun the sweep on the serial kernel and fail unless rows are byte-identical to the -shards run (routing, autoscale, slo, chaos)")
 	flag.Parse()
 
 	if err := run(*exp, *scenario, *dataset, *seed, *small, *parallel, *shards, *jsonPath, *tracePath, *timeseriesPath, *compare, *compareUnsharded); err != nil {
@@ -99,14 +102,14 @@ func main() {
 // experiments it contains accept and applies each to the ones that
 // honour it.
 var (
-	jsonExps    = map[string]bool{"routing": true, "autoscale": true, "slo": true, "kernel": true, "all": true}
-	compareExps = map[string]bool{"routing": true, "autoscale": true, "slo": true, "all": true}
-	shardExps   = map[string]bool{"routing": true, "autoscale": true, "slo": true, "kernel": true, "all": true}
+	jsonExps    = map[string]bool{"routing": true, "autoscale": true, "slo": true, "chaos": true, "kernel": true, "all": true}
+	compareExps = map[string]bool{"routing": true, "autoscale": true, "slo": true, "chaos": true, "all": true}
+	shardExps   = map[string]bool{"routing": true, "autoscale": true, "slo": true, "chaos": true, "kernel": true, "all": true}
 )
 
 func run(exp, scenario, dataset string, seed int64, small bool, parallel, shards int, jsonPath, tracePath, timeseriesPath string, compare, compareUnsharded bool) error {
 	if jsonPath != "" && !jsonExps[exp] {
-		return fmt.Errorf("-json is not supported by -exp %s (use routing, autoscale, slo, kernel or all)", exp)
+		return fmt.Errorf("-json is not supported by -exp %s (use routing, autoscale, slo, chaos, kernel or all)", exp)
 	}
 	if tracePath != "" && exp != "routing" {
 		return fmt.Errorf("-trace is not supported by -exp %s (use routing)", exp)
@@ -115,16 +118,16 @@ func run(exp, scenario, dataset string, seed int64, small bool, parallel, shards
 		return fmt.Errorf("-timeseries is not supported by -exp %s (use routing)", exp)
 	}
 	if compare && !compareExps[exp] {
-		return fmt.Errorf("-compare-serial is not supported by -exp %s (use routing, autoscale or slo)", exp)
+		return fmt.Errorf("-compare-serial is not supported by -exp %s (use routing, autoscale, slo or chaos)", exp)
 	}
 	if shards < 1 {
 		return fmt.Errorf("-shards must be >= 1, got %d", shards)
 	}
 	if shards > 1 && !shardExps[exp] {
-		return fmt.Errorf("-shards is not supported by -exp %s (use routing, autoscale, slo or kernel)", exp)
+		return fmt.Errorf("-shards is not supported by -exp %s (use routing, autoscale, slo, chaos or kernel)", exp)
 	}
 	if compareUnsharded && !compareExps[exp] {
-		return fmt.Errorf("-compare-unsharded is not supported by -exp %s (use routing, autoscale or slo)", exp)
+		return fmt.Errorf("-compare-unsharded is not supported by -exp %s (use routing, autoscale, slo or chaos)", exp)
 	}
 	switch exp {
 	case "table1":
@@ -159,12 +162,14 @@ func run(exp, scenario, dataset string, seed int64, small bool, parallel, shards
 		return autoscaleExp(seed, small, parallel, shards, jsonPath, compare, compareUnsharded)
 	case "slo":
 		return sloExp(seed, small, parallel, shards, jsonPath, compare, compareUnsharded)
+	case "chaos":
+		return chaosExp(seed, small, parallel, shards, jsonPath, compare, compareUnsharded)
 	case "kernel":
 		return kernelExp(small, shards, jsonPath)
 	case "all":
 		// Under -exp all, -json names a directory: each JSON-producing
 		// experiment writes its own BENCH_*.json file into it.
-		var routingJSON, autoscaleJSON, sloJSON, kernelJSON string
+		var routingJSON, autoscaleJSON, sloJSON, chaosJSON, kernelJSON string
 		if jsonPath != "" {
 			if err := os.MkdirAll(jsonPath, 0o755); err != nil {
 				return fmt.Errorf("-json directory: %w", err)
@@ -172,6 +177,7 @@ func run(exp, scenario, dataset string, seed int64, small bool, parallel, shards
 			routingJSON = filepath.Join(jsonPath, "BENCH_routing.json")
 			autoscaleJSON = filepath.Join(jsonPath, "BENCH_autoscale.json")
 			sloJSON = filepath.Join(jsonPath, "BENCH_slo.json")
+			chaosJSON = filepath.Join(jsonPath, "BENCH_chaos.json")
 			kernelJSON = filepath.Join(jsonPath, "BENCH_kernel.json")
 		}
 		for _, e := range []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig10", "sec2.3", "sec6.3"} {
@@ -186,6 +192,9 @@ func run(exp, scenario, dataset string, seed int64, small bool, parallel, shards
 			return err
 		}
 		if err := sloExp(seed, true, parallel, shards, sloJSON, compare, compareUnsharded); err != nil {
+			return err
+		}
+		if err := chaosExp(seed, true, parallel, shards, chaosJSON, compare, compareUnsharded); err != nil {
 			return err
 		}
 		if err := kernelExp(true, shards, kernelJSON); err != nil {
@@ -746,6 +755,48 @@ func sloExp(seed int64, small bool, parallel, shards int, jsonPath string, compa
 		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%d/%d\t%.3f\t%d/%d\t%.0f\t%.1f\t%d\n",
 			r.Mode, r.InteractiveMeanJCT, r.InteractiveP99JCT, r.InteractiveShed, r.InteractiveOffered,
 			r.BatchMeanJCT, r.BatchShed, r.BatchOffered, r.BatchGoodputTPS, r.GPUSeconds, r.Completed)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	printExecutor(stats)
+	if jsonPath != "" {
+		return writeJSON(jsonPath, benchEnvelope{Rows: rows, Executor: stats, SerialComparison: cmp, ShardComparison: shardCmp})
+	}
+	return nil
+}
+
+func chaosExp(seed int64, small bool, parallel, shards int, jsonPath string, compare, cmpUnsharded bool) error {
+	rows, stats, err := experiments.ChaosSweepParallel(seed, small, parallel, shards)
+	if err != nil {
+		return err
+	}
+	var cmp *serialComparison
+	if compare {
+		cmp, err = compareSerial(rows, stats, func() ([]experiments.ChaosSweepRow, experiments.CellStats, error) {
+			return experiments.ChaosSweepParallel(seed, small, 1, shards)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	var shardCmp *shardComparison
+	if cmpUnsharded {
+		shardCmp, err = compareUnsharded(rows, stats, shards, func() ([]experiments.ChaosSweepRow, experiments.CellStats, error) {
+			return experiments.ChaosSweepParallel(seed, small, parallel, 1)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	w := header("Chaos: fault injection and recovery, elastic pool on L4")
+	fmt.Fprintln(w, "mode\tmean JCT (s)\tp99 (s)\tshed\tfaults\torphans (rerouted/shed)\trecoveries\tmean recovery (s)\tups\tGPU-s\tp99 degr")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%.3f\t%d\t%d (%d/%d)\t%d\t%.1f\t%d\t%.1f\t%+.0f%%\n",
+			r.Mode, r.MeanJCT, r.P99JCT, r.ShedRate, r.Faults,
+			r.Orphaned, r.OrphansRerouted, r.OrphansShed,
+			r.Recoveries, r.MeanRecoverySeconds, r.ScaleUps, r.GPUSeconds,
+			100*r.P99DegradationVsBaseline)
 	}
 	if err := w.Flush(); err != nil {
 		return err

@@ -8,11 +8,22 @@
 //	             [-instances 1] [-routing affinity] [-max-backlog 0]
 //	             [-batch-max-backlog 0] [-batch-weight 0]
 //	             [-autoscale] [-min-instances 1] [-trace] [-timeseries]
+//	             [-chaos-crash-rate 0] [-chaos-straggler 0]
+//	             [-chaos-preempt 0] [-chaos-seed 1]
 //
 // With -autoscale, -instances is the pool ceiling: the cluster starts at
 // -min-instances engines and scales elastically from live backlog and
 // admission signals, paying a model-load cold start per scale-up. Watch
 // the pool at /v1/stats.
+//
+// Chaos: the -chaos-* rates enable the deterministic fault injector —
+// instance crashes, slow-node stragglers and spot preemptions at the
+// given events per simulated second. Orphaned requests are re-admitted
+// through admission under a retry budget; when the budget runs out the
+// request answers 503 with a Retry-After header and a structured body.
+// With -autoscale, lost capacity is replaced by cold starts. Fault
+// counters show in /v1/stats (faults block), /v1/metrics
+// (prefill_faults_total) and, with -trace, as instants in /v1/trace.
 //
 // Multi-tenant SLO classes: clients label requests with the slo_class
 // body field or X-SLO-Class header ("interactive" default, "batch").
@@ -67,6 +78,10 @@ func main() {
 	traceSpans := flag.Int("trace-spans", 0, "flight-recorder ring depth (0 = default, requires -trace)")
 	tsOn := flag.Bool("timeseries", false, "enable the windowed sim-time-series collector and the /v1/timeseries endpoint")
 	tsInterval := flag.Float64("timeseries-interval", 0, "time-series window width in simulated seconds (0 = one wall second, i.e. -speedup sim seconds; requires -timeseries)")
+	chaosCrash := flag.Float64("chaos-crash-rate", 0, "instance crashes per simulated second (requires -instances > 1)")
+	chaosStraggler := flag.Float64("chaos-straggler", 0, "slow-node straggler onsets per simulated second (requires -instances > 1)")
+	chaosPreempt := flag.Float64("chaos-preempt", 0, "spot preemption notices per simulated second (requires -instances > 1)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injector seed (requires a -chaos-* rate)")
 	flag.Parse()
 
 	m, ok := prefillonly.Models()[*modelName]
@@ -122,12 +137,25 @@ func main() {
 		} else if *minInstances != 1 {
 			log.Fatal("-min-instances requires -autoscale")
 		}
+		if *chaosCrash > 0 || *chaosStraggler > 0 || *chaosPreempt > 0 {
+			scfg.ChaosCrashRate = *chaosCrash
+			scfg.ChaosStragglerRate = *chaosStraggler
+			scfg.ChaosPreemptRate = *chaosPreempt
+			scfg.ChaosSeed = *chaosSeed
+		} else {
+			flag.Visit(func(f *flag.Flag) {
+				if f.Name == "chaos-seed" {
+					log.Fatal("-chaos-seed requires a -chaos-* rate")
+				}
+			})
+		}
 	} else {
 		// Reject explicitly-set routing flags rather than silently
 		// dropping them on a single-engine server.
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "routing", "max-backlog", "batch-max-backlog", "autoscale", "min-instances":
+			case "routing", "max-backlog", "batch-max-backlog", "autoscale", "min-instances",
+				"chaos-crash-rate", "chaos-straggler", "chaos-preempt", "chaos-seed":
 				log.Fatalf("-%s requires -instances > 1", f.Name)
 			}
 		})
@@ -150,6 +178,10 @@ func main() {
 	if *autoscaleOn {
 		fmt.Printf("prefillserve: autoscaling pool between %d and %d instances (cold start %.2fs)\n",
 			*minInstances, *instances, prefillonly.ColdStartSeconds(m, g, 1))
+	}
+	if *chaosCrash > 0 || *chaosStraggler > 0 || *chaosPreempt > 0 {
+		fmt.Printf("prefillserve: chaos on (seed %d; crash %g/s, straggler %g/s, preempt %g/s) — watch /v1/stats faults\n",
+			*chaosSeed, *chaosCrash, *chaosStraggler, *chaosPreempt)
 	}
 	if *traceOn {
 		fmt.Println("prefillserve: flight recorder on — fetch /v1/trace and open in https://ui.perfetto.dev")

@@ -151,6 +151,9 @@ type Stats struct {
 	// Revives counts scale-ups satisfied by undraining a still-warm
 	// draining instance instead of cold-starting a new one.
 	Revives int
+	// Lost counts instances that crashed or were preemption-killed
+	// (reported via InstanceLost) rather than gracefully released.
+	Lost int
 	// PeakInstances and MinInstances bound the observed pool size
 	// (provisioning cold starts included).
 	PeakInstances, MinInstances int
@@ -268,6 +271,21 @@ func (c *Controller) Stats() Stats { return c.stats }
 func (c *Controller) GPUSeconds(now float64) float64 {
 	c.accrue(now)
 	return c.gpuSeconds
+}
+
+// InstanceLost reports an instance crash or preemption kill to the
+// accounting: its GPUs stop accruing from now (the machine is gone, not
+// held through a drain). The capacity gap itself needs no special signal
+// — the next tick sees the pool below the floor and the re-admitted
+// orphans as backlog, and cold-starts a catalog-priced replacement
+// (reviving a still-draining warm instance first).
+func (c *Controller) InstanceLost(now float64, gpus int) {
+	c.accrue(now)
+	c.poolGPUs -= gpus
+	if c.poolGPUs < 0 {
+		c.poolGPUs = 0
+	}
+	c.stats.Lost++
 }
 
 func (c *Controller) accrue(now float64) {

@@ -1,0 +1,99 @@
+package autoscale
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestCrashDuringPendingColdStart: an instance crashes while a scale-up
+// replacement is still cold-starting. The controller must not leak the
+// pending add or double-count GPU-seconds, the cold start must still
+// land, and the floor-restore path must bring the routable pool back to
+// MinInstances so every surviving request completes.
+func TestCrashDuringPendingColdStart(t *testing.T) {
+	var s sim.Sim
+	rt, factory, recs := harness(t, &s, 2)
+	ctl, err := New(Config{
+		MinInstances: 2, MaxInstances: 4,
+		TickSeconds: 0.5, UpBacklogSeconds: 2, DownBacklogSeconds: 0.1,
+		ColdStartSeconds: 3, CooldownSeconds: 1,
+	}, &s, rt, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.Start()
+
+	// Burst at t=0: deep backlog on both instances triggers a scale-up at
+	// the first tick, whose cold start lands around t=3.5.
+	id := int64(0)
+	total := 0
+	s.At(0, func() {
+		for i := 0; i < 40; i++ {
+			id++
+			total++
+			if err := rt.Submit(mkReq(id, int(id), 3000)); err != nil {
+				t.Errorf("submit %d: %v", id, err)
+			}
+		}
+	})
+	// Crash one routable instance at t=1 — inside the cold-start window.
+	orphaned := 0
+	s.At(1, func() {
+		if ctl.Size() <= rt.Routable() {
+			t.Error("no pending cold start at crash time; raise the burst or lower UpBacklogSeconds")
+		}
+		victim := rt.InstanceInfos()[0]
+		orphans, err := rt.Fail(victim.ID)
+		if err != nil {
+			t.Errorf("fail: %v", err)
+			return
+		}
+		orphaned = len(orphans)
+		ctl.InstanceLost(1, victim.GPUs)
+		for _, r := range orphans {
+			if err := rt.Submit(r); err != nil {
+				t.Errorf("re-admitting orphan %d: %v", r.ID, err)
+			}
+		}
+	})
+	// Sparse tail keeps the tick loop alive through the recovery.
+	for ti := 0; ti < 20; ti++ {
+		s.At(60+2*float64(ti), func() {
+			id++
+			total++
+			if err := rt.Submit(mkReq(id, int(id), 200)); err != nil {
+				t.Errorf("tail submit %d: %v", id, err)
+			}
+		})
+	}
+	end := s.Run()
+
+	if err := ctl.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if orphaned == 0 {
+		t.Fatal("the crashed instance had nothing in flight; the burst should have loaded it")
+	}
+	if got := len(*recs); got != total {
+		t.Fatalf("completed %d of %d requests after crash recovery", got, total)
+	}
+	st := ctl.Stats()
+	if st.Lost != 1 {
+		t.Errorf("Lost = %d, want 1", st.Lost)
+	}
+	if rt.Routable() < 2 {
+		t.Errorf("routable %d at end, want floor 2 restored", rt.Routable())
+	}
+	// No leaked pending add: once everything lands, Size is the routable
+	// count.
+	if ctl.Size() != rt.Routable() {
+		t.Errorf("controller size %d != routable %d: leaked pendingAdds", ctl.Size(), rt.Routable())
+	}
+	// GPU-seconds: the crashed instance stopped accruing at t=1, so the
+	// integral must be below a full fleet running the whole time.
+	gs := ctl.GPUSeconds(end)
+	if upper := float64(st.PeakInstances) * end; gs >= upper {
+		t.Errorf("GPU-seconds %g >= %g: crashed capacity kept accruing", gs, upper)
+	}
+}

@@ -144,6 +144,18 @@ func (l *lifecycle) estimate(inf *inflight) float64 {
 	return dur
 }
 
+// abort releases a crashed request's resources without completing it: the
+// pin and reservation are returned, but nothing is cached and no Record
+// is emitted — the work is simply lost (the router re-admits the orphan).
+func (l *lifecycle) abort(inf *inflight) {
+	if inf.unpin != nil {
+		inf.unpin()
+	}
+	if inf.unreserve != nil {
+		inf.unreserve()
+	}
+}
+
 // finish completes a request at the given timestamp: release the pin and
 // reservation, cache what was computed (full insert for conventional
 // engines whose KV is already in the pool, prefix-first insert with

@@ -25,6 +25,16 @@ type Serial struct {
 	// engine itself (sim fast path), so the inflight rides here instead
 	// of in a per-dispatch closure.
 	cur *inflight
+
+	// slow is the straggler speed factor (internal/chaos): when > 0 every
+	// dispatched pass is priced slow× its modelled duration. Zero (the
+	// untouched default) leaves the cost model bit-identical to a run
+	// without fault injection.
+	slow float64
+	// killed marks a crashed engine whose in-service completion event is
+	// still scheduled; serialDone swallows exactly one completion after a
+	// mid-flight Kill (sim events cannot be cancelled).
+	killed bool
 }
 
 // SerialSpec configures a Serial engine beyond the shared Config.
@@ -126,6 +136,9 @@ func (s *Serial) dispatch() {
 	inf := s.lc.begin(r, now)
 	dur := s.lc.estimate(inf) + inf.restoreSeconds +
 		spillSeconds(inf.spilled, s.lc.cfg.GPU.HostBWBytes)
+	if s.slow > 0 {
+		dur *= s.slow
+	}
 	s.cur = inf
 	s.sim.AfterFunc(dur, serialDone, s)
 }
@@ -134,11 +147,57 @@ func (s *Serial) dispatch() {
 // request in service, so the engine pointer is the whole event payload.
 func serialDone(arg any) {
 	s := arg.(*Serial)
+	if s.killed {
+		// The engine crashed after this completion was scheduled; the
+		// request was already orphaned by Kill. Drop the event.
+		s.killed = false
+		return
+	}
 	inf := s.cur
 	s.cur = nil
 	s.lc.finish(inf, s.sim.Now())
 	s.busy = false
 	s.dispatch()
+}
+
+// SetSpeedFactor makes the engine a straggler: every subsequent dispatch
+// is priced factor× its modelled duration (factor > 1 is slower).
+// factor <= 0 or 1 restores nominal speed. The request in service, if
+// any, keeps its already-scheduled completion time.
+func (s *Serial) SetSpeedFactor(factor float64) {
+	if factor == 1 {
+		factor = 0
+	}
+	s.slow = factor
+}
+
+// SpeedFactor returns the active straggler factor (0 when nominal).
+func (s *Serial) SpeedFactor() float64 { return s.slow }
+
+// Kill crashes the engine: the request in service is aborted (its pin and
+// reservation released, no Record emitted), the waiting queue is drained,
+// and both cache tiers are lost. It returns every orphaned request in
+// deterministic order (in-service first, then scheduler order) so the
+// router can re-admit them. The engine must not be submitted to again.
+func (s *Serial) Kill() []*sched.Request {
+	var orphans []*sched.Request
+	if s.cur != nil {
+		s.lc.abort(s.cur)
+		orphans = append(orphans, s.cur.req)
+		s.cur = nil
+		s.killed = true
+	}
+	now := s.sim.Now()
+	for {
+		r := s.scheduler.Next(now)
+		if r == nil {
+			break
+		}
+		orphans = append(orphans, r)
+	}
+	s.busy = false
+	s.lc.cache.LoseAll()
+	return orphans
 }
 
 // spillSeconds prices the beyond-MIL fallback: each spilled byte crosses

@@ -110,6 +110,16 @@ func (h *hostTier) compact() {
 	h.stale = 0
 }
 
+// clear drops the whole tier (instance crash: host memory is lost with
+// the machine). The map and queue are replaced rather than drained so a
+// crashed tier releases its peak-size backing arrays.
+func (h *hostTier) clear() {
+	h.blocks = make(map[uint64]uint64)
+	h.queue = ringbuf.Ring[hostEntry]{}
+	h.used = 0
+	h.stale = 0
+}
+
 func (h *hostTier) contains(hash uint64) bool {
 	_, ok := h.blocks[hash]
 	return ok

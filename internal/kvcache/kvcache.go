@@ -451,6 +451,37 @@ func (m *Manager) EvictAll() {
 	}
 }
 
+// LoseAll models an instance crash: every unpinned GPU-tier block is
+// destroyed (not demoted to the host tier, unlike eviction) and the host
+// tier itself is wiped — the machine is gone, both memories with it.
+// Callers must release all pins first (the engine's kill path aborts
+// in-flight work before losing the cache); any still-pinned chain
+// survives, exactly as EvictAll would leave it.
+func (m *Manager) LoseAll() {
+	defer m.flushChanges()
+	for {
+		b := m.lru.popOldest()
+		if b == nil {
+			break
+		}
+		delete(m.blocks, b.hash)
+		m.used -= m.bytesPerBlock
+		if len(m.subs) > 0 {
+			m.pending.Evicted = append(m.pending.Evicted, b.hash)
+		}
+		m.stats.EvictedBlocks++
+		if b.parent != 0 {
+			if p, ok := m.blocks[b.parent]; ok {
+				p.children--
+				m.maybeEvictable(p)
+			}
+		}
+	}
+	if m.host != nil {
+		m.host.clear()
+	}
+}
+
 // Len returns the number of cached blocks.
 func (m *Manager) Len() int { return len(m.blocks) }
 

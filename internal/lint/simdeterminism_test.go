@@ -14,6 +14,13 @@ func TestSimDeterminismFixture(t *testing.T) {
 	}
 }
 
+func TestSimDeterminismChaosFixture(t *testing.T) {
+	diags := linttest.Run(t, "testdata", lint.SimDeterminism, "simdeterminism/internal/chaos")
+	if len(diags) == 0 {
+		t.Fatal("simdeterminism produced no diagnostics on the chaos fixture")
+	}
+}
+
 func TestSimDeterminismOutOfScope(t *testing.T) {
 	diags := linttest.Run(t, "testdata", lint.SimDeterminism, "simdeterminism/internal/server")
 	if len(diags) != 0 {

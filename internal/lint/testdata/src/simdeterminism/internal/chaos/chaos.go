@@ -1,0 +1,33 @@
+// Package chaos exercises simdeterminism over the fault injector's
+// package path: chaos is in the deterministic set (a fault schedule
+// must replay byte-identically from its seed), so wall clocks, the
+// global math/rand source and map iteration are flagged; the injector's
+// sanctioned seeded-substream pattern is not.
+package chaos
+
+import (
+	"math/rand"
+	"time"
+)
+
+func victimFromGlobal(candidates []int) int {
+	return candidates[rand.Intn(len(candidates))] // want "process-global source"
+}
+
+func faultTimeFromWall() time.Time {
+	return time.Now() // want "reads the wall clock"
+}
+
+func victimFromSeeded(seed int64, candidates []int) int {
+	// Sanctioned: a dedicated generator seeded from the config.
+	rng := rand.New(rand.NewSource(seed + 16))
+	return candidates[rng.Intn(len(candidates))]
+}
+
+func orphansByID(orphans map[int64]string) int {
+	n := 0
+	for range orphans { // want "randomized hash order"
+		n++
+	}
+	return n
+}

@@ -44,6 +44,15 @@ const (
 	// ReasonClassBudget is a per-class bound: the projected wait exceeded
 	// the request class's ClassBacklogSeconds budget.
 	ReasonClassBudget = "class-budget"
+	// ReasonNoCapacity is the empty-fleet shed: no routable instance
+	// existed at submission (every instance draining, crashed or
+	// preempted). Before fault injection this state was unreachable in a
+	// well-formed run and surfaced as an untyped error.
+	ReasonNoCapacity = "no-capacity"
+	// ReasonOrphanRetries is the fault-recovery shed: a request orphaned
+	// by instance failures exhausted its re-admission retry budget
+	// (internal/chaos).
+	ReasonOrphanRetries = "orphan-retries"
 )
 
 // Load is a snapshot of one instance's work as seen by the router.
@@ -106,14 +115,22 @@ type RejectError struct {
 	// BoundSeconds is the admission bound applied (the request class's
 	// budget when one is configured, MaxBacklogSeconds otherwise).
 	BoundSeconds float64
-	// Reason says which budget was tripped: ReasonClassBudget when the
+	// Reason says why the request was shed: ReasonClassBudget when the
 	// request class has its own ClassBacklogSeconds entry, ReasonBacklog
-	// when the aggregate MaxBacklogSeconds applied.
+	// when the aggregate MaxBacklogSeconds applied, ReasonNoCapacity when
+	// no routable instance existed, and ReasonOrphanRetries when a
+	// fault-orphaned request exhausted its re-admission budget.
 	Reason string
 }
 
 // Error implements error.
 func (e *RejectError) Error() string {
+	switch e.Reason {
+	case ReasonNoCapacity:
+		return fmt.Sprintf("router: %s rejected %s request: no routable instances", e.Policy, e.Class)
+	case ReasonOrphanRetries:
+		return fmt.Sprintf("router: %s shed orphaned %s request: re-admission retry budget exhausted", e.Policy, e.Class)
+	}
 	return fmt.Sprintf("router: %s rejected %s request for instance %d: backlog %.3gs + est %.3gs exceeds %s bound %.3gs",
 		e.Policy, e.Class, e.Instance, e.BacklogSeconds, e.EstimateSeconds, e.Reason, e.BoundSeconds)
 }
@@ -165,6 +182,10 @@ type instanceState struct {
 	est      jct.Estimator
 	load     Load
 	draining bool
+	// condemned marks an instance that received a preemption notice: it
+	// drains like any scale-down victim but can never be revived, because
+	// the machine under it is going away regardless of load.
+	condemned bool
 	// pendingBlocks refcounts the block hashes of routed, not-yet-
 	// completed requests. Merged into hit estimation so that concurrent
 	// requests sharing a prefix are attracted to the instance already
@@ -297,6 +318,9 @@ func (rt *Router) Undrain(id int) error {
 	if !ok {
 		return fmt.Errorf("router: unknown instance %d", id)
 	}
+	if st.condemned {
+		return fmt.Errorf("router: instance %d is condemned (preemption notice) and cannot be revived", id)
+	}
 	if st.draining {
 		st.draining = false
 		rt.routableDirty = true
@@ -337,6 +361,75 @@ func (rt *Router) Remove(id int) error {
 	delete(rt.byID, id)
 	rt.routableDirty = true
 	return nil
+}
+
+// Condemn marks an instance as irrevocably leaving (spot preemption
+// notice): it keeps serving its queue while draining, but Undrain on it
+// fails, so the autoscaler's revive path falls through to a cold start.
+// Condemning does not itself drain; pair it with Drain.
+func (rt *Router) Condemn(id int) error {
+	st, ok := rt.byID[id]
+	if !ok {
+		return fmt.Errorf("router: unknown instance %d", id)
+	}
+	st.condemned = true
+	return nil
+}
+
+// Has reports whether the instance ID is still registered (routable,
+// draining or condemned). Fault injectors use it to tell "already
+// released" from "needs a forced kill" at a preemption deadline.
+func (rt *Router) Has(id int) bool {
+	_, ok := rt.byID[id]
+	return ok
+}
+
+// EngineOf returns the engine behind a registered instance ID. Fault
+// injectors use it to reach per-instance knobs (straggler speed factor)
+// that are not part of the routing surface.
+func (rt *Router) EngineOf(id int) (engine.Engine, error) {
+	st, ok := rt.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("router: unknown instance %d", id)
+	}
+	return st.eng, nil
+}
+
+// killableEngine is satisfied by engines that can crash mid-flight and
+// report their orphaned requests (engine.Serial does).
+type killableEngine interface {
+	Kill() []*sched.Request
+}
+
+// Fail force-removes an instance that crashed or hit a preemption
+// deadline: the engine is killed (aborting its in-service request,
+// draining its queue and losing both cache tiers), every orphaned
+// request's load accounting and in-flight entry are released so the
+// orphans can be re-admitted through Submit, and the instance is removed
+// with its ID retired. It returns the orphans in deterministic order
+// (in-service first, then scheduler order).
+func (rt *Router) Fail(id int) ([]*sched.Request, error) {
+	st, ok := rt.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("router: unknown instance %d", id)
+	}
+	ke, ok := st.eng.(killableEngine)
+	if !ok {
+		return nil, fmt.Errorf("router: instance %d engine %s cannot be killed", id, st.eng.Name())
+	}
+	orphans := ke.Kill()
+	for _, r := range orphans {
+		delete(rt.inflight, r.ID)
+	}
+	for i, s := range rt.instances {
+		if s == st {
+			rt.instances = append(rt.instances[:i], rt.instances[i+1:]...)
+			break
+		}
+	}
+	delete(rt.byID, id)
+	rt.routableDirty = true
+	return orphans, nil
 }
 
 // routable returns the non-draining instances in slot order.
@@ -512,7 +605,17 @@ func (rt *Router) Submit(r *sched.Request) error {
 	}
 	v := rt.newView(r)
 	if len(v.insts) == 0 {
-		return fmt.Errorf("router: no routable instances (all draining)")
+		// No routable capacity (every instance draining, crashed or
+		// preempted): a typed shed, so fault-injected runs degrade to
+		// rejection instead of erroring out.
+		rt.admission.RejectClassReason(rt.cfg.Policy.Name(), r.Class.String(), ReasonNoCapacity)
+		rt.cfg.Tracer.Reject(r.ArrivalTime, ReasonNoCapacity, r.ID, r.Class, -1, 0, 0)
+		return &RejectError{
+			Policy:   rt.cfg.Policy.Name(),
+			Instance: -1,
+			Class:    r.Class,
+			Reason:   ReasonNoCapacity,
+		}
 	}
 	idx := rt.cfg.Policy.Pick(r, v)
 	if idx < 0 || idx >= len(v.insts) {

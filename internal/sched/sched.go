@@ -91,6 +91,11 @@ type Request struct {
 	// large prompts do not re-hash them.
 	BlockHashes     []uint64
 	HashBlockTokens int
+
+	// Retries counts how many times the request has been orphaned by an
+	// instance failure and re-admitted (internal/chaos). Admission sheds
+	// the request once it exceeds the injector's retry budget.
+	Retries int
 }
 
 // Len returns the input length in tokens.

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/autoscale"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/metrics"
@@ -35,6 +36,11 @@ type Result struct {
 	SimLatency float64
 	// CachedTokens is the prefix-cache hit length.
 	CachedTokens int
+	// Err is set when the request died after admission: its instance was
+	// killed by a fault and re-admission shed it (a *router.RejectError
+	// with reason "orphan-retries" or an admission reason). Submit
+	// returns it as the call's error.
+	Err error
 }
 
 // Backend bridges wall-clock callers to the event-driven engine. Simulated
@@ -53,6 +59,7 @@ type Backend struct {
 	ctl     *autoscale.Controller // nil without autoscaling
 	rec     *trace.Recorder       // nil unless tracing enabled
 	ts      *timeseries.Collector // nil unless EnableTimeseries was called
+	inj     *chaos.Injector       // nil unless EnableChaos armed faults
 	started time.Time
 	nextID  int64
 	waiters map[int64]chan Result
@@ -269,6 +276,28 @@ type StatsSnapshot struct {
 	// policy → class → reason ("backlog" | "class-budget") → count.
 	RejectReasons map[string]map[string]map[string]int64 `json:"admission_reject_reasons,omitempty"`
 	Autoscale     *AutoscaleStats                        `json:"autoscale,omitempty"`
+	// Faults reports the chaos injector's activity (omitted unless
+	// EnableChaos armed one).
+	Faults *FaultStats `json:"faults,omitempty"`
+}
+
+// FaultStats reports the chaos injector's cumulative activity in a
+// StatsSnapshot.
+type FaultStats struct {
+	// ByKind counts fault events per kind label ("crash", "straggler",
+	// "preempt-notice", "preempt-kill").
+	ByKind map[string]uint64 `json:"by_kind"`
+	// Orphaned requests split into Rerouted (re-admitted) + Shed.
+	Orphaned uint64 `json:"orphaned"`
+	Rerouted uint64 `json:"rerouted"`
+	Shed     uint64 `json:"shed"`
+	// Recoveries counts kill faults after which the routable pool
+	// returned to its pre-fault size; Unrecovered the ones whose
+	// tracking timed out.
+	Recoveries          uint64  `json:"recoveries"`
+	Unrecovered         uint64  `json:"unrecovered"`
+	MeanRecoverySeconds float64 `json:"mean_recovery_seconds"`
+	MaxRecoverySeconds  float64 `json:"max_recovery_seconds"`
 }
 
 // AdmissionStats is one policy's accept/reject tally in a StatsSnapshot.
@@ -349,6 +378,23 @@ func (b *Backend) Stats() StatsSnapshot {
 			TroughInstances:  st.MinInstances,
 			ColdStartSeconds: st.ColdStartSeconds,
 			GPUSeconds:       b.ctl.GPUSeconds(now),
+		}
+	}
+	if b.inj.Enabled() {
+		st := b.inj.Stats()
+		byKind := make(map[string]uint64, 4)
+		for _, label := range chaos.Labels() {
+			byKind[label] = st.ByLabel(label)
+		}
+		snap.Faults = &FaultStats{
+			ByKind:              byKind,
+			Orphaned:            st.Orphaned,
+			Rerouted:            st.Rerouted,
+			Shed:                st.Shed,
+			Recoveries:          st.Recoveries,
+			Unrecovered:         st.Unrecovered,
+			MeanRecoverySeconds: st.MeanRecoverySeconds(),
+			MaxRecoverySeconds:  st.MaxRecoverySeconds,
 		}
 	}
 	return snap
@@ -449,6 +495,50 @@ func (b *Backend) EnableTimeseries(intervalSeconds float64) {
 		IntervalSeconds: intervalSeconds,
 		Sample:          b.timeseriesGauges,
 	})
+}
+
+// EnableChaos arms a deterministic fault injector over the routed
+// cluster: seeded crash / straggler / spot-preemption events on the sim
+// clock, with orphan re-admission and autoscaled replacement (see
+// internal/chaos). Routed mode only — faults act through the router's
+// membership. Call it once, before serving traffic and after
+// EnableTimeseries (the injector captures the collector, so the order
+// decides whether fault counts land in the windows). A cfg that enables
+// no fault kind is a no-op: the backend keeps the nil (disabled)
+// injector and stays bit-identical to an unwired server.
+func (b *Backend) EnableChaos(cfg chaos.Config) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rt == nil {
+		return fmt.Errorf("server: chaos requires routed mode (more than one instance)")
+	}
+	if b.inj != nil {
+		return fmt.Errorf("server: chaos already enabled")
+	}
+	b.inj = chaos.New(cfg, b.sim, b.rt, chaos.Options{
+		Controller: b.ctl,
+		Tracer:     b.rec,
+		Timeseries: b.ts,
+		OnShed:     b.onOrphanShed,
+	})
+	b.inj.Start()
+	return nil
+}
+
+// Chaos exposes the fault injector (nil unless EnableChaos armed one).
+func (b *Backend) Chaos() *chaos.Injector { return b.inj }
+
+// onOrphanShed runs inside sim event handlers (loop holds the lock): a
+// fault orphaned this request and re-admission shed it, so answer its
+// waiter with the typed reject instead of leaving the caller blocked.
+func (b *Backend) onOrphanShed(r *sched.Request, rej *router.RejectError) {
+	b.ts.Reject(b.sim.Now(), rej.Class, rej.Reason)
+	ch, ok := b.waiters[r.ID]
+	if !ok {
+		return
+	}
+	delete(b.waiters, r.ID)
+	ch <- Result{Err: fmt.Errorf("server: %w", rej)}
 }
 
 // timeseriesGauges samples fleet state for the collector. It runs with
@@ -581,6 +671,9 @@ func (b *Backend) SubmitClass(prompt string, allowed []string, userID int, class
 			b.mu.Unlock()
 			return Result{}, fmt.Errorf("server: %w", err)
 		}
+		// Revive parked fault streams: with no horizon they follow the
+		// sampler discipline and park when the event queue drains.
+		b.inj.Start()
 	} else {
 		b.engines[0].Submit(r)
 	}
@@ -592,6 +685,9 @@ func (b *Backend) SubmitClass(prompt string, allowed []string, userID int, class
 	}
 	select {
 	case res := <-ch:
+		if res.Err != nil {
+			return Result{}, res.Err
+		}
 		return res, nil
 	case <-b.done:
 		return Result{}, fmt.Errorf("server: backend closed")

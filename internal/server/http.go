@@ -62,13 +62,17 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
-// rejectBody is the 429 payload for admission-control sheds: the
+// rejectBody is the payload for typed request sheds — 429 for
+// admission-control rejects, 503 for fault-driven drops — the
 // human-readable error plus the structured decision, so clients can back
 // off per class or per budget without parsing the message.
 type rejectBody struct {
 	Error string `json:"error"`
-	// Reason is the tripped budget: "backlog" (aggregate
-	// MaxBacklogSeconds) or "class-budget" (the class's own entry).
+	// Reason is the shed cause: "backlog" (aggregate MaxBacklogSeconds)
+	// or "class-budget" (the class's own entry) on a 429;
+	// "orphan-retries" (a fault orphaned the request and its re-admission
+	// retry budget ran out) or "no-capacity" (no routable instances) on
+	// a 503.
 	Reason string `json:"reason"`
 	// Class is the shed request's SLO class label.
 	Class string `json:"class"`
@@ -216,8 +220,25 @@ func (h *Handler) completions(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// Admission-control sheds are the client's signal to back off;
 		// the structured fields say which budget tripped and for whom.
+		// Fault-driven sheds (the instance died and re-admission gave up,
+		// or the pool has no routable instance) are 503 — the request was
+		// admitted or admissible, the service just can't carry it right
+		// now — with a Retry-After hinting at the recovery cadence.
 		var rej *router.RejectError
 		if errors.As(err, &rej) {
+			if rej.Reason == router.ReasonOrphanRetries || rej.Reason == router.ReasonNoCapacity {
+				w.Header().Set("Retry-After", "1")
+				writeJSON(w, http.StatusServiceUnavailable, rejectBody{
+					Error:          err.Error(),
+					Reason:         rej.Reason,
+					Class:          rej.Class.String(),
+					Policy:         rej.Policy,
+					Instance:       rej.Instance,
+					BacklogSeconds: rej.BacklogSeconds,
+					BoundSeconds:   rej.BoundSeconds,
+				})
+				return
+			}
 			writeJSON(w, http.StatusTooManyRequests, rejectBody{
 				Error:          err.Error(),
 				Reason:         rej.Reason,

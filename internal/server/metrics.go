@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/trace"
@@ -13,27 +14,30 @@ import (
 // greppable from CI, so treat them as a public schema: renaming one is a
 // breaking change for scrapers.
 const (
-	famSimSeconds    = "prefill_sim_seconds"
-	famSimEvents     = "prefill_sim_events_total"
-	famSimEventRate  = "prefill_sim_events_per_second"
-	famAdmission     = "prefill_admission_decisions_total"
-	famRejects       = "prefill_admission_rejects_total"
-	famQueueDepth    = "prefill_instance_queued_requests"
-	famBacklog       = "prefill_instance_backlog_seconds"
-	famRouted        = "prefill_instance_routed_requests_total"
-	famCacheLookup   = "prefill_cache_lookup_tokens_total"
-	famCacheHit      = "prefill_cache_hit_tokens_total"
-	famCacheUsed     = "prefill_cache_used_bytes"
-	famCacheCapacity = "prefill_cache_capacity_bytes"
-	famPoolSize      = "prefill_pool_size"
-	famScaleUps      = "prefill_pool_scale_ups_total"
-	famScaleDowns    = "prefill_pool_scale_downs_total"
-	famRevives       = "prefill_pool_revives_total"
-	famGPUSeconds    = "prefill_pool_gpu_seconds_total"
-	famLatency       = "prefill_request_latency_seconds"
-	famTraceSpans    = "prefill_trace_spans_total"
-	famTraceDropped  = "prefill_trace_spans_dropped_total"
-	famTSWindows     = "prefill_timeseries_windows_total"
+	famSimSeconds     = "prefill_sim_seconds"
+	famSimEvents      = "prefill_sim_events_total"
+	famSimEventRate   = "prefill_sim_events_per_second"
+	famAdmission      = "prefill_admission_decisions_total"
+	famRejects        = "prefill_admission_rejects_total"
+	famQueueDepth     = "prefill_instance_queued_requests"
+	famBacklog        = "prefill_instance_backlog_seconds"
+	famRouted         = "prefill_instance_routed_requests_total"
+	famCacheLookup    = "prefill_cache_lookup_tokens_total"
+	famCacheHit       = "prefill_cache_hit_tokens_total"
+	famCacheUsed      = "prefill_cache_used_bytes"
+	famCacheCapacity  = "prefill_cache_capacity_bytes"
+	famPoolSize       = "prefill_pool_size"
+	famScaleUps       = "prefill_pool_scale_ups_total"
+	famScaleDowns     = "prefill_pool_scale_downs_total"
+	famRevives        = "prefill_pool_revives_total"
+	famGPUSeconds     = "prefill_pool_gpu_seconds_total"
+	famFaults         = "prefill_faults_total"
+	famOrphansReroute = "prefill_orphans_rerouted_total"
+	famOrphansShed    = "prefill_orphans_shed_total"
+	famLatency        = "prefill_request_latency_seconds"
+	famTraceSpans     = "prefill_trace_spans_total"
+	famTraceDropped   = "prefill_trace_spans_dropped_total"
+	famTSWindows      = "prefill_timeseries_windows_total"
 )
 
 // Metrics renders a consistent snapshot of the serving cluster as a
@@ -151,6 +155,21 @@ func (b *Backend) Metrics() *metrics.Registry {
 		scaleUps.Add(float64(st.ScaleUps))
 		scaleDowns.Add(float64(st.ScaleDowns))
 		revives.Add(float64(st.Revives))
+	}
+
+	faults := reg.Family(famFaults,
+		"Chaos-injector fault events by kind.", metrics.TypeCounter)
+	orphansRerouted := reg.Family(famOrphansReroute,
+		"Fault-orphaned requests re-admitted through admission.", metrics.TypeCounter)
+	orphansShed := reg.Family(famOrphansShed,
+		"Fault-orphaned requests shed (retry budget or re-admission reject).", metrics.TypeCounter)
+	if b.inj.Enabled() {
+		st := b.inj.Stats()
+		for _, label := range chaos.Labels() {
+			faults.Add(float64(st.ByLabel(label)), metrics.Label{Name: "kind", Value: label})
+		}
+		orphansRerouted.Add(float64(st.Rerouted))
+		orphansShed.Add(float64(st.Shed))
 	}
 
 	latency := reg.Family(famLatency,

@@ -53,6 +53,13 @@ type Window struct {
 	RejectsByReason map[string]uint64 `json:"rejects_by_reason,omitempty"`
 	// ShedRate is Rejects/Arrivals within the window.
 	ShedRate float64 `json:"shed_rate"`
+	// Faults counts chaos-injector fault events (crashes, straggler
+	// onsets, preemption notices/kills) within the window.
+	Faults uint64 `json:"faults"`
+	// OrphansRerouted and OrphansShed split the fate of fault-orphaned
+	// requests within the window: re-admitted vs dropped.
+	OrphansRerouted uint64 `json:"orphans_rerouted"`
+	OrphansShed     uint64 `json:"orphans_shed"`
 	// Gauges sampled as the window closed.
 	QueuedRequests   int     `json:"queued_requests"`
 	BacklogSeconds   float64 `json:"backlog_seconds"`
@@ -182,6 +189,7 @@ func csvHeader() []string {
 		"index", "start_seconds", "end_seconds", "partial",
 		"arrivals", "arrival_rps", "completions", "throughput_rps",
 		"rejects", "rejects_by_reason", "shed_rate",
+		"faults", "orphans_rerouted", "orphans_shed",
 		"queued_requests", "backlog_seconds", "pool_size",
 		"pending_instances", "cache_hit_ratio", "gpu_seconds_total",
 	}
@@ -222,6 +230,7 @@ func WriteCSV(w io.Writer, exp Export) error {
 			fmtI(win.Index), fmtF(win.StartSeconds), fmtF(win.EndSeconds), fmtBool(win.Partial),
 			fmtU(win.Arrivals), fmtF(win.ArrivalRPS), fmtU(win.Completions), fmtF(win.ThroughputRPS),
 			fmtU(win.Rejects), fmtReasons(win.RejectsByReason), fmtF(win.ShedRate),
+			fmtU(win.Faults), fmtU(win.OrphansRerouted), fmtU(win.OrphansShed),
 			strconv.Itoa(win.QueuedRequests), fmtF(win.BacklogSeconds), strconv.Itoa(win.PoolSize),
 			strconv.Itoa(win.PendingInstances), fmtF(win.CacheHitRatio), fmtF(win.GPUSecondsTotal),
 		}

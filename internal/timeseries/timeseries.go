@@ -166,9 +166,13 @@ type Collector struct {
 	completions uint64
 	rejects     uint64
 	rejectsBy   map[string]uint64
-	class       [sched.NumClasses]classAccum
-	hists       [sched.NumClasses]*metrics.Histogram
-	roll        [sched.NumClasses]rolling
+	// Chaos-injector activity within the current window.
+	faults          uint64
+	orphansRerouted uint64
+	orphansShed     uint64
+	class           [sched.NumClasses]classAccum
+	hists           [sched.NumClasses]*metrics.Histogram
+	roll            [sched.NumClasses]rolling
 
 	rows    []Window // closed windows, oldest first
 	dropped uint64
@@ -283,6 +287,44 @@ func (c *Collector) Reject(now float64, class sched.Class, reason string) {
 	c.mu.Unlock()
 }
 
+// Fault records a chaos-injector fault (crash, straggler onset or
+// preemption event) at sim time now.
+func (c *Collector) Fault(now float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.catchUp(now)
+	c.faults++
+	c.mu.Unlock()
+}
+
+// OrphanRerouted records a fault-orphaned request re-admitted through
+// the router at sim time now.
+func (c *Collector) OrphanRerouted(now float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.catchUp(now)
+	c.orphansRerouted++
+	c.mu.Unlock()
+}
+
+// OrphanShed records a fault-orphaned request shed (retry budget
+// exhausted or re-admission rejected) at sim time now. Callers also
+// report it via Reject with the shed reason; this counter isolates the
+// orphan share.
+func (c *Collector) OrphanShed(now float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.catchUp(now)
+	c.orphansShed++
+	c.mu.Unlock()
+}
+
 // Advance closes every window whose end is at or before now without
 // recording an event — the tick path, also usable by manual drivers
 // (tests) that have no clock attached.
@@ -359,6 +401,7 @@ func (c *Collector) closeWindow(g Gauges) {
 	}
 	c.rows = append(c.rows, row)
 	c.arrivals, c.completions, c.rejects = 0, 0, 0
+	c.faults, c.orphansRerouted, c.orphansShed = 0, 0, 0
 	c.rejectsBy = nil
 	c.idx++
 }
@@ -385,6 +428,9 @@ func (c *Collector) buildRow(end float64, g Gauges, partial bool) Window {
 		Arrivals:         c.arrivals,
 		Completions:      c.completions,
 		Rejects:          c.rejects,
+		Faults:           c.faults,
+		OrphansRerouted:  c.orphansRerouted,
+		OrphansShed:      c.orphansShed,
 		QueuedRequests:   g.QueuedRequests,
 		BacklogSeconds:   g.BacklogSeconds,
 		PoolSize:         g.PoolSize,

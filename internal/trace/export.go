@@ -119,6 +119,10 @@ func spanEvent(s Span) traceEvent {
 		return traceEvent{Name: "pool", Cat: "gauge", Ph: "C",
 			TS: usec(s.Start), PID: tracePID, TID: routerTID,
 			Args: map[string]any{"size": s.A, "pending_cold_starts": s.B}}
+	case KindFault:
+		return traceEvent{Name: "fault:" + s.Name, Cat: "fault", Ph: "i", S: "t",
+			TS: usec(s.Start), PID: tracePID, TID: routerTID,
+			Args: map[string]any{"instance": s.Inst, "orphans": s.A, "routable": s.B}}
 	}
 	return traceEvent{Name: "unknown", Ph: "i", TS: usec(s.Start), PID: tracePID, TID: routerTID}
 }

@@ -76,6 +76,12 @@ const (
 	// KindPoolGauge is a sampled gauge: A=routable pool size,
 	// B=pending cold starts.
 	KindPoolGauge
+	// KindFault is an instant: the chaos injector hit an instance.
+	// Name=fault label ("crash", "straggler", "straggler-end",
+	// "preempt-notice", "preempt-kill"), Inst=router instance id,
+	// A=orphaned requests (kill faults), B=routable pool size after the
+	// fault.
+	KindFault
 
 	numKinds
 )
@@ -113,6 +119,8 @@ func (k Kind) String() string {
 		return "cache-gauge"
 	case KindPoolGauge:
 		return "pool-gauge"
+	case KindFault:
+		return "fault"
 	}
 	return "unknown"
 }
@@ -277,6 +285,14 @@ func (r *Recorder) ColdStart(now, dur float64, name string, poolSize int) {
 // PoolGauge records the routable pool size and pending cold starts.
 func (r *Recorder) PoolGauge(now float64, size, pending int) {
 	r.Emit(Span{Kind: KindPoolGauge, Inst: -1, Start: now, A: float64(size), B: float64(pending)})
+}
+
+// Fault records a chaos-injector fault instant. label must be one of the
+// injector's constant fault labels; orphans counts requests orphaned by a
+// kill fault (0 otherwise) and routable is the pool size after the fault.
+func (r *Recorder) Fault(now float64, label string, instance int, orphans, routable int) {
+	r.Emit(Span{Kind: KindFault, Inst: int32(instance), Start: now, Name: label,
+		A: float64(orphans), B: float64(routable)})
 }
 
 // LoadGauge records one instance's queue depth and backlog seconds.

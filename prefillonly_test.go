@@ -149,3 +149,20 @@ func TestServerFacade(t *testing.T) {
 		t.Fatal("nil handler")
 	}
 }
+
+func TestServerChaosValidation(t *testing.T) {
+	if _, err := NewServer(ServerConfig{MaxInputLen: 4000, ChaosCrashRate: 0.1}); err == nil {
+		t.Error("chaos on a single-engine server accepted")
+	}
+	if _, err := NewServer(ServerConfig{MaxInputLen: 4000, Instances: 2, ChaosSeed: 7}); err == nil {
+		t.Error("ChaosSeed without a chaos rate accepted")
+	}
+	srv, err := NewServer(ServerConfig{
+		MaxInputLen: 4000, Speedup: 1e7, Instances: 2,
+		ChaosSeed: 7, ChaosStragglerRate: 1e-9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+}

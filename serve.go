@@ -5,6 +5,7 @@ import (
 	"net/http"
 
 	"repro/internal/autoscale"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/router"
@@ -71,6 +72,19 @@ type ServerConfig struct {
 	// seconds per wall second, so TimeseriesSeconds = Speedup gives one
 	// window per wall second (prefillserve's default).
 	TimeseriesSeconds float64
+	// ChaosCrashRate, ChaosStragglerRate and ChaosPreemptRate enable the
+	// deterministic fault injector (internal/chaos) when positive:
+	// instance crashes, slow-node episodes and spot preemptions at these
+	// rates per simulated second, with orphaned requests re-admitted
+	// through admission under a retry budget and — when Autoscale is on —
+	// lost capacity replaced by cold starts. Fault-shed requests answer
+	// with HTTP 503 and a Retry-After header. Require Instances > 1.
+	ChaosCrashRate     float64
+	ChaosStragglerRate float64
+	ChaosPreemptRate   float64
+	// ChaosSeed seeds the injector's fault-time and victim streams
+	// (meaningful only with a chaos rate set; same seed, same faults).
+	ChaosSeed int64
 }
 
 // Server is the OpenAI-compatible serving frontend over a PrefillOnly
@@ -108,12 +122,21 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	opts := core.Options{Lambda: cfg.Lambda, ClassWeights: cfg.ClassWeights}
 	var b *server.Backend
 	var err error
+	chaosCfg := chaos.Config{
+		Seed:          cfg.ChaosSeed,
+		CrashRate:     cfg.ChaosCrashRate,
+		StragglerRate: cfg.ChaosStragglerRate,
+		PreemptRate:   cfg.ChaosPreemptRate,
+	}
 	if cfg.Instances <= 1 && (cfg.RoutingPolicy != "" || cfg.MaxBacklogSeconds != 0 ||
-		len(cfg.ClassBacklogSeconds) != 0 || cfg.Autoscale) {
-		return nil, fmt.Errorf("prefillonly: RoutingPolicy, MaxBacklogSeconds, ClassBacklogSeconds and Autoscale require Instances > 1")
+		len(cfg.ClassBacklogSeconds) != 0 || cfg.Autoscale || chaosCfg.Enabled()) {
+		return nil, fmt.Errorf("prefillonly: RoutingPolicy, MaxBacklogSeconds, ClassBacklogSeconds, Autoscale and chaos rates require Instances > 1")
 	}
 	if !cfg.Autoscale && cfg.MinInstances != 0 {
 		return nil, fmt.Errorf("prefillonly: MinInstances requires Autoscale")
+	}
+	if !chaosCfg.Enabled() && cfg.ChaosSeed != 0 {
+		return nil, fmt.Errorf("prefillonly: ChaosSeed requires a chaos rate")
 	}
 	if cfg.Instances > 1 {
 		// A nil Policy lets router.New apply its default (AffinityLoad).
@@ -145,6 +168,13 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	if cfg.TimeseriesSeconds > 0 {
 		b.EnableTimeseries(cfg.TimeseriesSeconds)
+	}
+	// After EnableTimeseries: the injector captures the collector, so this
+	// order is what puts fault counts in the time-series windows.
+	if chaosCfg.Enabled() {
+		if err := b.EnableChaos(chaosCfg); err != nil {
+			return nil, err
+		}
 	}
 	return &Server{backend: b, handler: server.NewHandler(b, cfg.ModelName)}, nil
 }
